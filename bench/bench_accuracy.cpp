@@ -1,0 +1,56 @@
+// Ablation A5 — stopping rule vs solution quality.
+//
+// The paper's convergence detector (§5.5) is update-distance based: a peer is
+// "stable" when the relative error between two successive iterates stays
+// under a threshold. For an 80-strip decomposition of the Poisson system the
+// block-Jacobi spectral radius is ≈0.999, so the update distance underprices
+// the true error by a factor 1/(1-rho) ≈ 1000: loose thresholds (which the
+// paper's ~40-100 iteration counts imply) stop far short of discretization
+// accuracy. This bench quantifies that trade-off — iteration count and time
+// vs the actual residual achieved — on the full P2P runtime.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "support/flags.hpp"
+
+using namespace jacepp;
+using namespace jacepp::bench;
+
+int main(int argc, char** argv) {
+  FlagSet flags("bench_accuracy",
+                "Iterations/time vs true residual across stopping thresholds "
+                "(A5)");
+  auto n = flags.add_int("n", 96, "sim grid side");
+  auto seed = flags.add_uint("seed", 42, "seed");
+  flags.parse(argc, argv);
+
+  print_header("A5 — update-distance threshold vs achieved residual",
+               "  threshold   iters(mean)   time_s   residual   "
+               "residual/threshold");
+
+  for (const double threshold : {1e-2, 1e-3, 1e-4, 1e-5}) {
+    ExperimentParams p;
+    p.n = static_cast<std::size_t>(*n);
+    p.seed = *seed;
+    p.convergence_threshold = threshold;
+    p.inner_tolerance = threshold * 1e-3;
+    p.max_sim_time = 20000.0;
+    const auto outcome = run_experiment(p);
+    if (!outcome.completed) {
+      std::printf("  %9.0e   DID NOT CONVERGE within the time cap\n", threshold);
+      continue;
+    }
+    std::printf("  %9.0e   %11.1f  %7.1f   %.2e   %12.1f\n", threshold,
+                outcome.report.spawner.mean_iteration(),
+                outcome.execution_time, outcome.residual,
+                outcome.residual / threshold);
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nreading: residual/threshold ≈ 1/(1-rho) — the detector's intrinsic "
+      "optimism for this decomposition; the paper never reports residuals, "
+      "and its iteration counts imply a threshold at the loose end of this "
+      "table.\n");
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Shared experiment plumbing for the paper-reproduction benches.
+//
+// Scaling note (see DESIGN.md §2): the paper runs n = 2000…5000 on ~100 real
+// machines; we run the same *code paths* on a simulated fleet with the grid
+// scaled down by 2000/96 ≈ 20.8x and the per-iteration flop count scaled back
+// up by work_scale = 20.8² ≈ 434 so the compute/communication ratio (the
+// paper's Eq. 4) stays on the paper's trajectory. Simulated seconds are
+// therefore comparable in structure (who wins, by what factor), not in
+// absolute value.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/deployment.hpp"
+#include "poisson/block_task.hpp"
+#include "poisson/poisson.hpp"
+#include "support/stats.hpp"
+
+namespace jacepp::bench {
+
+/// sim-n → paper-n mapping (factor ≈ 20.83).
+inline double paper_scale_factor() { return 2000.0 / 96.0; }
+
+inline std::size_t paper_n(std::size_t sim_n) {
+  return static_cast<std::size_t>(static_cast<double>(sim_n) *
+                                      paper_scale_factor() +
+                                  0.5);
+}
+
+/// Timing constants for the paper-regime experiments (iterations ~0.5 s).
+inline core::TimingConfig paper_timing() {
+  core::TimingConfig t;
+  t.heartbeat_period = 1.0;
+  t.daemon_timeout = 4.0;
+  t.super_peer_timeout = 3.0;
+  t.sweep_period = 1.0;
+  t.bootstrap_retry = 1.0;
+  t.reserve_retry = 1.0;
+  t.reserved_timeout = 10.0;
+  t.backup_query_timeout = 1.5;
+  t.backup_fetch_timeout = 3.0;
+  t.final_state_timeout = 5.0;
+  return t;
+}
+
+struct ExperimentParams {
+  std::size_t n = 144;              ///< sim grid side
+  std::uint32_t tasks = 80;         ///< paper §7: 80 computing peers
+  std::size_t daemons = 100;        ///< paper §7: ~100 daemons
+  std::size_t super_peers = 3;      ///< paper §7: 3 super-peers
+  /// Overlap in whole grid lines. The paper's "optimal overlapping value" is
+  /// sub-line (< n components); at our scaled grid some blocks own a single
+  /// line, so the headline sweeps use 0 and bench_overlap studies the effect.
+  std::uint32_t overlap_lines = 0;
+  std::uint32_t checkpoint_every = 5;   ///< paper §7
+  std::uint32_t backup_peers = 20;      ///< paper §7
+  std::size_t disconnections = 0;
+  double reconnect_delay = 20.0;    ///< paper §7: "about 20 seconds later"
+  double work_scale = paper_scale_factor() * paper_scale_factor();
+  /// Paper-style loose update-distance detection: the paper's runs stop at
+  /// ~40-100 outer iterations with 80 strip blocks, which is only reachable
+  /// with an update-based criterion far looser than discretization accuracy
+  /// (the paper reports times, never residuals). The harness reports the true
+  /// residual of every run alongside.
+  double convergence_threshold = 1e-3;
+  std::uint32_t stable_required = 5;
+  double inner_tolerance = 1e-6;
+  std::uint64_t seed = 42;
+  /// Window start/length (sim seconds) over which disconnect times are drawn;
+  /// horizon <= 0 means "no disconnections scheduled".
+  double disconnect_start = 0.0;
+  double disconnect_horizon = 0.0;
+  double max_sim_time = 4000.0;
+};
+
+struct ExperimentOutcome {
+  core::SimExperimentReport report;
+  double residual = -1.0;   ///< relative residual of the assembled solution
+  bool completed = false;
+  double execution_time = 0.0;
+};
+
+inline core::SimDeploymentConfig make_config(const ExperimentParams& p) {
+  poisson::force_registration();
+
+  poisson::PoissonConfig pc;
+  pc.n = static_cast<std::uint32_t>(p.n);
+  pc.overlap_lines = p.overlap_lines;
+  pc.inner_tolerance = p.inner_tolerance;
+  pc.work_scale = p.work_scale;
+
+  core::SimDeploymentConfig config;
+  config.super_peer_count = p.super_peers;
+  config.daemon_count = p.daemons;
+  config.timing = paper_timing();
+  config.sim.seed = p.seed;
+  config.max_sim_time = p.max_sim_time;
+  config.reconnect_delay = p.reconnect_delay;
+
+  config.app.app_id = 1;
+  config.app.program = poisson::PoissonTask::kProgramName;
+  config.app.config = poisson::encode_config(pc);
+  config.app.task_count = p.tasks;
+  config.app.checkpoint_every = p.checkpoint_every;
+  config.app.backup_peer_count = p.backup_peers;
+  config.app.convergence_threshold = p.convergence_threshold;
+  config.app.stable_iterations_required = p.stable_required;
+
+  if (p.disconnections > 0 && p.disconnect_horizon > 0.0) {
+    config.disconnect_times = core::uniform_disconnect_schedule(
+        p.disconnections, p.disconnect_start, p.disconnect_horizon,
+        p.seed ^ 0xd15c0ULL);
+  }
+  return config;
+}
+
+inline ExperimentOutcome run_experiment(const ExperimentParams& p) {
+  core::SimDeployment deployment(make_config(p));
+  ExperimentOutcome outcome;
+  outcome.report = deployment.run();
+  outcome.completed = outcome.report.spawner.completed;
+  outcome.execution_time = outcome.report.spawner.execution_time();
+
+  poisson::PoissonConfig pc;
+  pc.n = static_cast<std::uint32_t>(p.n);
+  const auto x = poisson::assemble_solution(
+      p.n, p.tasks, outcome.report.spawner.final_payloads);
+  outcome.residual = poisson::poisson_relative_residual(pc, x);
+  return outcome;
+}
+
+/// Run the zero-disconnection case once to calibrate the failure window for
+/// a given n (the paper injects failures "during the execution").
+inline double calibrate_baseline_time(ExperimentParams p) {
+  p.disconnections = 0;
+  const auto outcome = run_experiment(p);
+  return outcome.completed ? outcome.execution_time : p.max_sim_time;
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& columns) {
+  std::printf("\n=== %s ===\n%s\n", title.c_str(), columns.c_str());
+}
+
+}  // namespace jacepp::bench

@@ -1,0 +1,107 @@
+// Figure 7 reproduction: execution times of the Poisson problem on 80 peers
+// as a function of n, for 0 … 50 random disconnections (reconnect ≈ 20 s).
+//
+// Paper-reported reference behaviour (CLUSTER 2006, §7):
+//   * execution time grows with n for every disconnection count;
+//   * 50 disconnections slow the run down by at most ~2x at n=2000 and
+//     ~2.5x at n=5000 — "although there are a large amount of
+//     disconnections, this factor does not increase much";
+//   * without disconnections, ~100 outer iterations at n=2000 vs ~40 at
+//     n=5000 (reported by bench_iterations).
+//
+// The grid is scaled by ≈1/20.8 with the per-iteration cost scaled back up
+// (see bench_common.hpp); the printed paper-n column gives the equivalence.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "support/flags.hpp"
+
+using namespace jacepp;
+using namespace jacepp::bench;
+
+int main(int argc, char** argv) {
+  FlagSet flags("bench_fig7",
+                "Reproduces Figure 7: Poisson execution times vs n under "
+                "0..50 disconnections (80 peers)");
+  auto reps = flags.add_int("reps", 1, "repetitions per cell (paper used 10)");
+  auto tasks = flags.add_int("tasks", 80, "computing peers");
+  auto daemons = flags.add_int("daemons", 100, "daemon fleet size");
+  auto seed = flags.add_uint("seed", 42, "base seed");
+  auto n_list = flags.add_string("n", "96,144,192,240",
+                                 "comma-separated sim grid sides");
+  auto d_list = flags.add_string("disconnections", "0,10,20,30,40,50",
+                                 "comma-separated disconnection counts");
+  flags.parse(argc, argv);
+
+  auto parse_list = [](const std::string& text) {
+    std::vector<std::size_t> values;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      const auto comma = text.find(',', pos);
+      values.push_back(std::stoul(text.substr(pos, comma - pos)));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    return values;
+  };
+
+  const auto ns = parse_list(*n_list);
+  const auto ds = parse_list(*d_list);
+
+  print_header("Figure 7 — execution time (sim s) vs n and disconnections",
+               "  n(sim)  n(paper)  disc   time_s   slowdown  iters(avg)  "
+               "residual   restores  restarts0");
+
+  for (const std::size_t n : ns) {
+    ExperimentParams base;
+    base.n = n;
+    base.tasks = static_cast<std::uint32_t>(*tasks);
+    base.daemons = static_cast<std::size_t>(*daemons);
+    base.seed = *seed;
+
+    // Calibrate the failure window on the 0-disconnection baseline.
+    const double t0 = calibrate_baseline_time(base);
+
+    double baseline_mean = 0.0;
+    for (const std::size_t d : ds) {
+      SampleSet times;
+      SampleSet iters;
+      SampleSet residuals;
+      std::uint64_t restores = 0;
+      std::uint64_t restarts = 0;
+      for (int rep = 0; rep < *reps; ++rep) {
+        ExperimentParams p = base;
+        p.seed = *seed + 1000 * static_cast<std::uint64_t>(rep + 1);
+        p.disconnections = d;
+        p.disconnect_start = 0.05 * t0;
+        p.disconnect_horizon = 1.2 * t0;
+        const auto outcome = run_experiment(p);
+        if (!outcome.completed) {
+          std::fprintf(stderr, "warning: n=%zu d=%zu rep=%d did not converge\n",
+                       n, d, rep);
+          continue;
+        }
+        times.add(outcome.execution_time);
+        iters.add(outcome.report.spawner.mean_iteration());
+        residuals.add(outcome.residual);
+        restores += outcome.report.restores_from_backup;
+        restarts += outcome.report.restarts_from_zero;
+      }
+      if (times.count() == 0) continue;
+      if (d == 0) baseline_mean = times.mean();
+      const double slowdown =
+          baseline_mean > 0.0 ? times.mean() / baseline_mean : 1.0;
+      std::printf("  %6zu  %8zu  %4zu  %7.1f   %7.2fx  %9.1f   %.2e  %8llu  %9llu\n",
+                  n, paper_n(n), d, times.mean(), slowdown, iters.mean(),
+                  residuals.mean(), static_cast<unsigned long long>(restores),
+                  static_cast<unsigned long long>(restarts));
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf(
+      "\npaper check: slowdown at 50 disconnections ≈ 2x (n=2000) … 2.5x "
+      "(n=5000); execution time increases with n.\n");
+  return 0;
+}

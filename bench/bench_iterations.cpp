@@ -1,0 +1,75 @@
+// §7 in-text claim: without disconnections the Poisson run needs ~100 outer
+// iterations at n=2000 but only ~40 at n=5000 — larger local systems raise
+// the compute/communication ratio (Eq. 4), so fewer iterations are "useless"
+// (performed without having received an update).
+//
+// This bench reports, per n: mean/max outer iterations at convergence, the
+// execution time, and the true residual of the assembled solution. The
+// paper's TREND (iterations decrease as n grows, for a fixed 80-peer
+// decomposition) is the reproduction target; absolute counts depend on the
+// stopping rule, which the paper does not specify (see EXPERIMENTS.md).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "support/flags.hpp"
+
+using namespace jacepp;
+using namespace jacepp::bench;
+
+int main(int argc, char** argv) {
+  FlagSet flags("bench_iterations",
+                "Outer-iteration counts vs n without disconnections (§7)");
+  auto tasks = flags.add_int("tasks", 80, "computing peers");
+  auto seed = flags.add_uint("seed", 42, "seed");
+  auto n_list = flags.add_string("n", "96,144,192,240", "sim grid sides");
+  flags.parse(argc, argv);
+
+  print_header("§7 iterations — outer iterations at convergence vs n (0 disc.)",
+               "  n(sim)  n(paper)   iters(mean)  iters(max)   time_s   "
+               "time/iter_s  residual");
+
+  std::vector<std::size_t> ns;
+  {
+    const std::string& text = *n_list;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      const auto comma = text.find(',', pos);
+      ns.push_back(std::stoul(text.substr(pos, comma - pos)));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  double first_iters = 0.0;
+  double last_iters = 0.0;
+  for (const std::size_t n : ns) {
+    ExperimentParams p;
+    p.n = n;
+    p.tasks = static_cast<std::uint32_t>(*tasks);
+    p.seed = *seed;
+    const auto outcome = run_experiment(p);
+    if (!outcome.completed) {
+      std::printf("  %6zu  %8zu   DID NOT CONVERGE\n", n, paper_n(n));
+      continue;
+    }
+    const double mean_iters = outcome.report.spawner.mean_iteration();
+    if (first_iters == 0.0) first_iters = mean_iters;
+    last_iters = mean_iters;
+    std::printf("  %6zu  %8zu   %11.1f  %10llu  %7.1f   %11.4f  %.2e\n", n,
+                paper_n(n), mean_iters,
+                static_cast<unsigned long long>(
+                    outcome.report.spawner.max_iteration()),
+                outcome.execution_time,
+                outcome.execution_time / std::max(mean_iters, 1.0),
+                outcome.residual);
+    std::fflush(stdout);
+  }
+
+  if (first_iters > 0.0 && last_iters > 0.0) {
+    std::printf(
+        "\npaper check: iterations shrink as n grows (paper: ~100 → ~40, "
+        "ratio 2.5x); measured ratio %.2fx.\n",
+        first_iters / last_iters);
+  }
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Substrate microbenchmarks (google-benchmark): the kernels and runtime
+// primitives everything else is built on.
+#include <benchmark/benchmark.h>
+
+#include "linalg/cg.hpp"
+#include "linalg/csr.hpp"
+#include "core/messages.hpp"
+#include "net/message.hpp"
+#include "poisson/block_task.hpp"
+#include "poisson/poisson.hpp"
+#include "serial/serial.hpp"
+#include "sim/event_queue.hpp"
+#include "support/queue.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace jacepp;
+
+void BM_SpMV(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = poisson::assemble_laplacian(n);
+  linalg::Vector x(n * n, 1.0);
+  linalg::Vector y(n * n);
+  for (auto _ : state) {
+    a.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_SpMV)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ConjugateGradient(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto mp = poisson::make_manufactured_problem(n, 7);
+  linalg::CgOptions options;
+  options.tolerance = 1e-8;
+  options.max_iterations = 10 * n * n;
+  for (auto _ : state) {
+    linalg::Vector x;
+    const auto result =
+        linalg::conjugate_gradient(mp.problem.a, mp.problem.b, x, options);
+    benchmark::DoNotOptimize(result.residual_norm);
+  }
+}
+BENCHMARK(BM_ConjugateGradient)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SerializeBoundaryLine(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  linalg::Vector line(n, 1.25);
+  for (auto _ : state) {
+    serial::Writer w;
+    w.f64_vector(line);
+    auto bytes = w.take();
+    serial::Reader r(bytes);
+    auto decoded = r.f64_vector();
+    benchmark::DoNotOptimize(decoded.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * sizeof(double)));
+}
+BENCHMARK(BM_SerializeBoundaryLine)->Arg(96)->Arg(2000)->Arg(5000);
+
+void BM_CheckpointRoundTrip(benchmark::State& state) {
+  poisson::PoissonConfig pc;
+  pc.n = static_cast<std::uint32_t>(state.range(0));
+  core::AppDescriptor app;
+  app.task_count = 4;
+  app.config = poisson::encode_config(pc);
+  poisson::PoissonTask task;
+  task.init(app, 1);
+  task.iterate();
+  for (auto _ : state) {
+    auto snapshot = task.checkpoint();
+    poisson::PoissonTask replica;
+    replica.init(app, 1);
+    replica.restore(snapshot);
+    benchmark::DoNotOptimize(replica.x_ext().data());
+  }
+}
+BENCHMARK(BM_CheckpointRoundTrip)->Arg(32)->Arg(96);
+
+void BM_EventQueue(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < batch; ++i) {
+      q.schedule(rng.next_double(), [] {});
+    }
+    double now = 0;
+    while (!q.empty()) q.pop(&now)();
+    benchmark::DoNotOptimize(now);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(10000);
+
+void BM_MessageEncodeDecode(benchmark::State& state) {
+  core::AppRegister reg;
+  reg.app_id = 1;
+  reg.version = 5;
+  reg.spawner = net::Stub{1, 1, net::EntityKind::Spawner};
+  for (std::uint32_t t = 0; t < 80; ++t) {
+    reg.tasks.push_back(
+        core::TaskEntry{t, net::Stub{t + 2, 1, net::EntityKind::Daemon}});
+  }
+  core::msg::RegisterUpdate update{reg};
+  for (auto _ : state) {
+    const auto m = net::make_message(update);
+    const auto decoded = net::payload_of<core::msg::RegisterUpdate>(m);
+    benchmark::DoNotOptimize(decoded.reg.version);
+  }
+}
+BENCHMARK(BM_MessageEncodeDecode);
+
+void BM_BlockingQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    BlockingQueue<int> q;
+    for (int i = 0; i < 1000; ++i) q.push(i);
+    int sum = 0;
+    for (int i = 0; i < 1000; ++i) sum += *q.try_pop();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_BlockingQueueThroughput);
+
+void BM_RngU64(benchmark::State& state) {
+  Rng rng(1);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc ^= rng.next_u64();
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngU64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+// Generic solver example: JaceP2P is not tied to the Poisson problem — the
+// built-in "generic.multisplit" program runs ANY symmetric positive definite
+// sparse system, deriving each task's communication pattern from the
+// sparsity structure of the matrix. Here: a 2-D anisotropic diffusion
+// operator (different conductivities per axis), solved on a volatile network
+// and verified against a direct CG solve.
+//
+//   $ ./generic_solver [--n 20] [--tasks 5] [--anisotropy 8]
+#include <cstdio>
+
+#include "core/deployment.hpp"
+#include "core/generic_task.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/vector_ops.hpp"
+#include "support/flags.hpp"
+
+using namespace jacepp;
+
+namespace {
+
+/// 5-point anisotropic diffusion: -(a u_xx + c u_yy) = f.
+linalg::CsrMatrix anisotropic_laplacian(std::size_t n, double a, double c) {
+  const double h = 1.0 / static_cast<double>(n + 1);
+  const double ax = a / (h * h);
+  const double cy = c / (h * h);
+  linalg::CsrBuilder builder(n * n, n * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t row = j * n + i;
+      builder.add(row, row, 2.0 * (ax + cy));
+      if (i > 0) builder.add(row, row - 1, -ax);
+      if (i + 1 < n) builder.add(row, row + 1, -ax);
+      if (j > 0) builder.add(row, row - n, -cy);
+      if (j + 1 < n) builder.add(row, row + n, -cy);
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags("generic_solver",
+                "Any SPD system on JaceP2P via the generic multisplit program");
+  auto n = flags.add_int("n", 20, "grid side (system is n^2 unknowns)");
+  auto tasks = flags.add_int("tasks", 5, "computing peers");
+  auto anisotropy = flags.add_double("anisotropy", 8.0, "x/y conductivity ratio");
+  flags.parse(argc, argv);
+
+  core::GenericMultisplitTask::force_registration();
+
+  const std::size_t grid = static_cast<std::size_t>(*n);
+  const auto a = anisotropic_laplacian(grid, *anisotropy, 1.0);
+  linalg::Vector b(grid * grid, 1.0);  // uniform source term
+
+  core::GenericConfig gc;
+  gc.a = a;
+  gc.b = b;
+  gc.inner_tolerance = 1e-10;
+  gc.work_scale = 500.0;  // keep the run compute-dominated
+
+  core::SimDeploymentConfig config;
+  config.super_peer_count = 2;
+  config.daemon_count = static_cast<std::size_t>(*tasks) + 3;
+  config.app.app_id = 9;
+  config.app.program = core::GenericMultisplitTask::kProgramName;
+  config.app.config = serial::encode(gc);
+  config.app.task_count = static_cast<std::uint32_t>(*tasks);
+  config.app.checkpoint_every = 5;
+  config.app.backup_peer_count = 3;
+  config.app.convergence_threshold = 1e-8;
+  config.app.stable_iterations_required = 4;
+  config.disconnect_times = {3.0, 7.0};  // two failures for good measure
+  config.max_sim_time = 4000.0;
+
+  core::SimDeployment deployment(config);
+  const auto report = deployment.run();
+  if (!report.spawner.completed) {
+    std::printf("did not converge\n");
+    return 1;
+  }
+
+  const auto x = core::assemble_generic_solution(
+      a, config.app.task_count, report.spawner.final_payloads);
+
+  // Reference: direct CG on the whole system.
+  linalg::Vector reference;
+  linalg::CgOptions options;
+  options.tolerance = 1e-12;
+  options.max_iterations = 20 * grid * grid;
+  linalg::conjugate_gradient(a, b, reference, options);
+
+  std::printf("generic anisotropic-diffusion solve on %lld peers\n",
+              static_cast<long long>(*tasks));
+  std::printf("  system              : %zu unknowns, anisotropy %.1f\n",
+              grid * grid, *anisotropy);
+  std::printf("  converged at        : %.2f sim s\n",
+              report.spawner.convergence_time);
+  std::printf("  failures handled    : %llu\n",
+              static_cast<unsigned long long>(report.spawner.failures_detected));
+  std::printf("  max |x - reference| : %.3e\n",
+              linalg::distance_inf(x, reference));
+  return linalg::distance_inf(x, reference) < 1e-4 ? 0 : 1;
+}

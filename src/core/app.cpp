@@ -1,0 +1,27 @@
+#include "core/app.hpp"
+
+namespace jacepp::core {
+
+std::vector<TaskId> backup_peers_of(TaskId task, std::uint32_t task_count,
+                                    std::uint32_t backup_peer_count) {
+  std::vector<TaskId> peers;
+  if (task_count <= 1) return peers;
+  const std::uint32_t max_peers =
+      std::min(backup_peer_count, task_count - 1);  // cannot back up on oneself
+  peers.reserve(max_peers);
+  // Alternate right/left neighbours in task-id space, wrapping: t+1, t-1,
+  // t+2, t-2, ... — the paper's Figure 5 uses exactly the left and right
+  // neighbours for backup_peer_count = 2.
+  std::uint32_t distance = 1;
+  while (peers.size() < max_peers) {
+    const TaskId right = (task + distance) % task_count;
+    if (right != task) peers.push_back(right);
+    if (peers.size() >= max_peers) break;
+    const TaskId left = (task + task_count - (distance % task_count)) % task_count;
+    if (left != task && left != right) peers.push_back(left);
+    ++distance;
+  }
+  return peers;
+}
+
+}  // namespace jacepp::core

@@ -1,0 +1,127 @@
+// Application descriptors and registers.
+//
+// * AppDescriptor — what the paper's Spawner user supplies: where the code
+//   lives (here: a registered program name instead of a class-file URL),
+//   how many computing nodes, and the application arguments (a serialized
+//   config blob), plus the checkpointing policy.
+// * AppRegister — the paper's "Application Register": the task→daemon mapping
+//   for one application, versioned so stale broadcasts are ignored.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/stub.hpp"
+#include "serial/serial.hpp"
+
+namespace jacepp::core {
+
+using TaskId = std::uint32_t;
+using AppId = std::uint32_t;
+
+struct AppDescriptor {
+  AppId app_id = 0;
+  /// Registered program name — the analogue of the paper's "URL of a web
+  /// server where the class files are available": daemons instantiate the
+  /// Task from this name via the TaskProgramRegistry.
+  std::string program;
+  /// Program-specific arguments (the paper's "optional arguments").
+  serial::Bytes config;
+  std::uint32_t task_count = 0;
+
+  // Fault-tolerance policy (paper §5.4 / §7).
+  std::uint32_t checkpoint_every = 5;    ///< jaceSave frequency, in iterations
+  std::uint32_t backup_peer_count = 20;  ///< backup-peers per task
+
+  // Convergence policy (paper §5.5).
+  double convergence_threshold = 1e-8;
+  std::uint32_t stable_iterations_required = 3;
+
+  void serialize(serial::Writer& w) const {
+    w.u32(app_id);
+    w.str(program);
+    w.bytes(config);
+    w.u32(task_count);
+    w.u32(checkpoint_every);
+    w.u32(backup_peer_count);
+    w.f64(convergence_threshold);
+    w.u32(stable_iterations_required);
+  }
+
+  static AppDescriptor deserialize(serial::Reader& r) {
+    AppDescriptor d;
+    d.app_id = r.u32();
+    d.program = r.str();
+    d.config = r.bytes();
+    d.task_count = r.u32();
+    d.checkpoint_every = r.u32();
+    d.backup_peer_count = r.u32();
+    d.convergence_threshold = r.f64();
+    d.stable_iterations_required = r.u32();
+    return d;
+  }
+};
+
+/// One task slot in the Application Register.
+struct TaskEntry {
+  TaskId task_id = 0;
+  net::Stub daemon;
+
+  void serialize(serial::Writer& w) const {
+    w.u32(task_id);
+    daemon.serialize(w);
+  }
+  static TaskEntry deserialize(serial::Reader& r) {
+    TaskEntry e;
+    e.task_id = r.u32();
+    e.daemon = net::Stub::deserialize(r);
+    return e;
+  }
+};
+
+/// Versioned task→daemon mapping, broadcast by the Spawner on every change.
+struct AppRegister {
+  AppId app_id = 0;
+  std::uint64_t version = 0;
+  net::Stub spawner;
+  std::vector<TaskEntry> tasks;  ///< sorted by task_id, one entry per task
+
+  [[nodiscard]] const TaskEntry* find(TaskId task) const {
+    for (const auto& e : tasks) {
+      if (e.task_id == task) return &e;
+    }
+    return nullptr;
+  }
+
+  /// Stub of the daemon currently running `task` (invalid stub if none).
+  [[nodiscard]] net::Stub daemon_of(TaskId task) const {
+    const TaskEntry* e = find(task);
+    return e != nullptr ? e->daemon : net::Stub{};
+  }
+
+  void serialize(serial::Writer& w) const {
+    w.u32(app_id);
+    w.u64(version);
+    spawner.serialize(w);
+    w.object_vector(tasks);
+  }
+
+  static AppRegister deserialize(serial::Reader& r) {
+    AppRegister reg;
+    reg.app_id = r.u32();
+    reg.version = r.u64();
+    reg.spawner = net::Stub::deserialize(r);
+    reg.tasks = r.object_vector<TaskEntry>();
+    return reg;
+  }
+};
+
+/// Round-robin backup-peer policy (paper §5.4): the backup peers of task t are
+/// the `count` nearest other tasks by task-id distance (alternating right and
+/// left, wrapping), and the save of iteration-index `save_seq` goes to
+/// backup_peers[save_seq % count].
+std::vector<TaskId> backup_peers_of(TaskId task, std::uint32_t task_count,
+                                    std::uint32_t backup_peer_count);
+
+}  // namespace jacepp::core

@@ -1,0 +1,64 @@
+// The Backup store each Daemon hosts for its neighbours (paper §5.4): latest
+// checkpoint per (application, task), newer iterations replacing older ones.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "core/app.hpp"
+#include "serial/serial.hpp"
+
+namespace jacepp::core {
+
+class BackupStore {
+ public:
+  struct Entry {
+    std::uint64_t iteration = 0;
+    serial::Bytes state;
+  };
+
+  /// Store a checkpoint; keeps the highest-iteration version per (app, task)
+  /// (out-of-order arrivals never regress the stored checkpoint).
+  void store(AppId app, TaskId task, std::uint64_t iteration, serial::Bytes state) {
+    Entry& entry = entries_[key(app, task)];
+    if (entry.state.empty() || iteration >= entry.iteration) {
+      entry.iteration = iteration;
+      entry.state = std::move(state);
+    }
+  }
+
+  /// Latest checkpoint held for (app, task); nullptr when none.
+  [[nodiscard]] const Entry* find(AppId app, TaskId task) const {
+    const auto it = entries_.find(key(app, task));
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  /// Drop all checkpoints of a finished application.
+  void clear_app(AppId app) {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->first.first == app) {
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] std::size_t bytes() const {
+    std::size_t total = 0;
+    for (const auto& [k, e] : entries_) total += e.state.size();
+    return total;
+  }
+
+ private:
+  static std::pair<AppId, TaskId> key(AppId app, TaskId task) {
+    return {app, task};
+  }
+
+  std::map<std::pair<AppId, TaskId>, Entry> entries_;
+};
+
+}  // namespace jacepp::core

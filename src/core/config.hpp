@@ -1,0 +1,33 @@
+// Timing parameters shared by all JaceP2P entities. Defaults are tuned for
+// the simulator (sub-second heartbeats keep failure detection fast relative to
+// iteration times); the threaded runtime uses the same knobs with smaller
+// values in tests.
+#pragma once
+
+namespace jacepp::core {
+
+struct TimingConfig {
+  double heartbeat_period = 0.5;     ///< daemon liveness signal period (§5.3)
+  double daemon_timeout = 2.5;       ///< SP/Spawner declare a daemon dead after
+                                     ///< this long without a heartbeat
+  double super_peer_timeout = 2.0;   ///< daemon declares its SP dead after this
+                                     ///< long without a heartbeat ack
+  double sweep_period = 0.5;         ///< monitor scan period
+  double bootstrap_retry = 0.5;      ///< retry delay when a bootstrap SP is
+                                     ///< unreachable (§5.1)
+  double reserve_retry = 1.0;        ///< spawner re-requests unfilled
+                                     ///< reservations after this long (§5.2)
+  double reserved_timeout = 6.0;     ///< a Reserved daemon that never receives
+                                     ///< a task re-registers after this long
+  double backup_query_timeout = 1.0; ///< replacement daemon waits this long
+                                     ///< for BackupInfo replies (§5.4)
+  double backup_fetch_timeout = 2.0; ///< ... and this long for the BackupData
+  double final_state_timeout = 3.0;  ///< spawner waits this long for
+                                     ///< FinalState after broadcasting halt
+  double backup_retention = 30.0;    ///< daemons keep a finished app's
+                                     ///< Backups this long after halt so
+                                     ///< post-halt result recovery can read
+                                     ///< them
+};
+
+}  // namespace jacepp::core

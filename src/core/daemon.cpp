@@ -1,0 +1,401 @@
+#include "core/daemon.hpp"
+
+#include "core/periodic.hpp"
+#include "support/logging.hpp"
+
+namespace jacepp::core {
+
+Daemon::Daemon(std::vector<net::Stub> bootstrap_addresses, TimingConfig timing)
+    : timing_(timing), bootstrap_addresses_(std::move(bootstrap_addresses)) {
+  JACEPP_CHECK(!bootstrap_addresses_.empty(),
+               "Daemon needs at least one super-peer bootstrap address");
+
+  dispatcher_.on<msg::RegisterAck>(
+      [this](const msg::RegisterAck& m, const net::Message&, net::Env&) {
+        if (state_ == State::Bootstrapping) enter_registered(m.super_peer);
+      });
+  dispatcher_.on<msg::HeartbeatAck>(
+      [this](const msg::HeartbeatAck&, const net::Message& raw, net::Env& env) {
+        if (state_ == State::Registered && raw.from == super_peer_) {
+          last_sp_ack_ = env.now();
+        }
+      });
+  dispatcher_.on<msg::Reserved>(
+      [this](const msg::Reserved& m, const net::Message&, net::Env&) {
+        // Accept from Registered (normal) and Bootstrapping (the ack that
+        // would have moved us to Registered may have been lost).
+        if (state_ == State::Registered || state_ == State::Bootstrapping) {
+          set_state(State::Reserved);
+          reserving_spawner_ = m.spawner;
+          bump_epoch();
+          // Fallback: a reservation that never turns into a task means the
+          // spawner died or moved on; rejoin the available pool.
+          const std::uint64_t epoch = epoch_;
+          env_->schedule(timing_.reserved_timeout, [this, epoch] {
+            if (epoch == epoch_ && state_ == State::Reserved) begin_bootstrap();
+          });
+        }
+      });
+  dispatcher_.on<msg::TaskAssignment>(
+      [this](const msg::TaskAssignment& m, const net::Message&, net::Env&) {
+        handle_assignment(m);
+      });
+  dispatcher_.on<msg::RegisterUpdate>(
+      [this](const msg::RegisterUpdate& m, const net::Message&, net::Env&) {
+        if (state_ == State::Computing && m.reg.app_id == app_.app_id &&
+            m.reg.version > reg_.version) {
+          reg_ = m.reg;
+        }
+      });
+  dispatcher_.on<msg::TaskData>(
+      [this](const msg::TaskData& m, const net::Message&, net::Env&) {
+        // Dependency data is accepted whenever the task object exists (also
+        // during restore, so a replacement starts with fresh neighbour data).
+        if (task_ != nullptr && m.app_id == app_.app_id && m.to_task == task_id_) {
+          task_->on_data(m.from_task, m.iteration, m.payload);
+        }
+      });
+  dispatcher_.on<msg::SaveBackup>(
+      [this](const msg::SaveBackup& m, const net::Message&, net::Env&) {
+        if (finished_apps_.count(m.app_id) != 0) return;  // app already halted
+        backup_store_.store(m.app_id, m.task_id, m.iteration, m.state);
+      });
+  dispatcher_.on<msg::QueryBackup>(
+      [this](const msg::QueryBackup& m, const net::Message& raw, net::Env& env) {
+        const BackupStore::Entry* entry = backup_store_.find(m.app_id, m.task_id);
+        msg::BackupInfo info;
+        info.app_id = m.app_id;
+        info.task_id = m.task_id;
+        info.available = entry != nullptr;
+        info.iteration = entry != nullptr ? entry->iteration : 0;
+        rmi::invoke(env, raw.from, info);
+      });
+  dispatcher_.on<msg::FetchBackup>(
+      [this](const msg::FetchBackup& m, const net::Message& raw, net::Env& env) {
+        const BackupStore::Entry* entry = backup_store_.find(m.app_id, m.task_id);
+        if (entry != nullptr) {
+          msg::BackupData data;
+          data.app_id = m.app_id;
+          data.task_id = m.task_id;
+          data.iteration = entry->iteration;
+          data.state = entry->state;
+          rmi::invoke(env, raw.from, data);
+        } else {
+          // The checkpoint vanished between query and fetch (e.g. this holder
+          // restarted); tell the restarter so it can fall back.
+          msg::BackupInfo info;
+          info.app_id = m.app_id;
+          info.task_id = m.task_id;
+          info.available = false;
+          rmi::invoke(env, raw.from, info);
+        }
+      });
+  dispatcher_.on<msg::BackupInfo>(
+      [this](const msg::BackupInfo& m, const net::Message& raw, net::Env&) {
+        if (restore_phase_ == RestorePhase::Querying && m.app_id == app_.app_id &&
+            m.task_id == task_id_ && m.available &&
+            (!best_backup_available_ || m.iteration > best_backup_iteration_)) {
+          best_backup_available_ = true;
+          best_backup_iteration_ = m.iteration;
+          best_backup_holder_ = raw.from;
+        }
+      });
+  dispatcher_.on<msg::BackupData>(
+      [this](const msg::BackupData& m, const net::Message&, net::Env&) {
+        if (restore_phase_ == RestorePhase::Fetching && m.app_id == app_.app_id &&
+            m.task_id == task_id_) {
+          restore_phase_ = RestorePhase::None;
+          task_->restore(m.state);
+          iteration_ = m.iteration;
+          tracker_->reset();
+          ++restores_from_backup_;
+          JACEPP_LOG(Info, "daemon", "task %u restored from backup at iteration %llu",
+                     task_id_, static_cast<unsigned long long>(m.iteration));
+          start_iterating();
+        }
+      });
+  dispatcher_.on<msg::GlobalHalt>(
+      [this](const msg::GlobalHalt& m, const net::Message&, net::Env&) {
+        handle_halt(m);
+      });
+}
+
+void Daemon::on_start(net::Env& env) {
+  env_ = &env;
+  begin_bootstrap();
+}
+
+void Daemon::on_message(const net::Message& message, net::Env& env) {
+  dispatcher_.dispatch(message, env);
+}
+
+void Daemon::on_stop(net::Env& /*env*/) {}
+
+// ---------------------------------------------------------------------------
+// Bootstrapping (§5.1)
+// ---------------------------------------------------------------------------
+
+void Daemon::begin_bootstrap() {
+  set_state(State::Bootstrapping);
+  bump_epoch();
+  attempt_register();
+}
+
+void Daemon::attempt_register() {
+  if (state_ != State::Bootstrapping) return;
+  ++bootstrap_attempts_;
+  // Random choice among the stored super-peer addresses; retry until one is
+  // reachable (i.e. a RegisterAck comes back before the retry timer).
+  const net::Stub& choice =
+      bootstrap_addresses_[env_->rng().index(bootstrap_addresses_.size())];
+  rmi::invoke(*env_, choice, msg::RegisterDaemon{env_->self()});
+  const std::uint64_t epoch = epoch_;
+  env_->schedule(timing_.bootstrap_retry, [this, epoch] {
+    if (epoch == epoch_ && state_ == State::Bootstrapping) attempt_register();
+  });
+}
+
+void Daemon::enter_registered(const net::Stub& super_peer) {
+  set_state(State::Registered);
+  super_peer_ = super_peer;
+  last_sp_ack_ = env_->now();
+  bump_epoch();
+  const std::uint64_t epoch = epoch_;
+  arm_periodic(*env_, timing_.heartbeat_period, [this, epoch]() -> bool {
+    if (epoch != epoch_ || state_ != State::Registered) return false;
+    // SP failure detection: no acks for too long → re-bootstrap elsewhere.
+    if (env_->now() - last_sp_ack_ > timing_.super_peer_timeout) {
+      JACEPP_LOG(Info, "daemon", "%s lost its super-peer; re-bootstrapping",
+                 env_->self().to_debug_string().c_str());
+      begin_bootstrap();
+      return false;
+    }
+    rmi::invoke(*env_, super_peer_, msg::Heartbeat{});
+    return true;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Computing
+// ---------------------------------------------------------------------------
+
+void Daemon::handle_assignment(const msg::TaskAssignment& m) {
+  if (state_ == State::Computing) return;  // duplicate assignment
+  set_state(State::Computing);
+  bump_epoch();
+
+  app_ = m.app;
+  task_id_ = m.task_id;
+  reg_ = m.reg;
+  iteration_ = 0;
+  save_seq_ = 0;
+  halted_ = false;
+  finalize_only_ = m.finalize_only;
+  // A finalize-only assignment may arrive for an app this daemon already saw
+  // halt; it must still be able to restore and reply.
+  if (finalize_only_) finished_apps_.erase(app_.app_id);
+  restore_phase_ = RestorePhase::None;
+  tracker_.emplace(app_.convergence_threshold, app_.stable_iterations_required);
+
+  task_ = TaskProgramRegistry::instance().create(app_.program);
+  JACEPP_CHECK(task_ != nullptr, "unknown task program in assignment");
+  task_->init(app_, task_id_);
+
+  // While computing, heartbeats go to the Spawner instead of a Super-Peer.
+  const std::uint64_t epoch = epoch_;
+  arm_periodic(*env_, timing_.heartbeat_period, [this, epoch]() -> bool {
+    if (epoch != epoch_ || state_ != State::Computing) return false;
+    rmi::invoke(*env_, reg_.spawner, msg::Heartbeat{});
+    return true;
+  });
+
+  if (m.restart || m.finalize_only) {
+    begin_restore();
+  } else {
+    start_iterating();
+  }
+}
+
+void Daemon::begin_restore() {
+  restore_phase_ = RestorePhase::Querying;
+  best_backup_available_ = false;
+  best_backup_iteration_ = 0;
+
+  const auto peers = backup_peers_of(task_id_, app_.task_count,
+                                     app_.backup_peer_count);
+  std::size_t queried = 0;
+  for (const TaskId peer : peers) {
+    const net::Stub holder = reg_.daemon_of(peer);
+    if (holder.valid() && holder != env_->self()) {
+      msg::QueryBackup query;
+      query.app_id = app_.app_id;
+      query.task_id = task_id_;
+      rmi::invoke(*env_, holder, query);
+      ++queried;
+    }
+  }
+  if (queried == 0) {
+    restart_from_zero();
+    return;
+  }
+  const std::uint64_t epoch = epoch_;
+  env_->schedule(timing_.backup_query_timeout, [this, epoch] {
+    if (epoch == epoch_ && restore_phase_ == RestorePhase::Querying) {
+      decide_restore();
+    }
+  });
+}
+
+void Daemon::decide_restore() {
+  if (!best_backup_available_) {
+    restart_from_zero();
+    return;
+  }
+  restore_phase_ = RestorePhase::Fetching;
+  msg::FetchBackup fetch;
+  fetch.app_id = app_.app_id;
+  fetch.task_id = task_id_;
+  rmi::invoke(*env_, best_backup_holder_, fetch);
+  const std::uint64_t epoch = epoch_;
+  env_->schedule(timing_.backup_fetch_timeout, [this, epoch] {
+    if (epoch == epoch_ && restore_phase_ == RestorePhase::Fetching) {
+      // Holder died between info and fetch; the safe fallback is iteration 0.
+      restart_from_zero();
+    }
+  });
+}
+
+void Daemon::restart_from_zero() {
+  restore_phase_ = RestorePhase::None;
+  iteration_ = 0;
+  ++restarts_from_zero_;
+  JACEPP_LOG(Info, "daemon", "task %u restarting from iteration 0", task_id_);
+  start_iterating();
+}
+
+void Daemon::start_iterating() {
+  if (halted_ || state_ != State::Computing) return;
+  if (finalize_only_) {
+    // Result recovery (post-halt): hand the restored state straight back to
+    // the spawner instead of iterating.
+    msg::FinalState final_state;
+    final_state.app_id = app_.app_id;
+    final_state.task_id = task_id_;
+    final_state.iteration = iteration_;
+    final_state.informative_iterations = task_->informative_iterations();
+    final_state.payload = task_->final_payload();
+    rmi::invoke(*env_, reg_.spawner, final_state);
+    halted_ = true;
+    teardown_task();
+    begin_bootstrap();
+    return;
+  }
+  run_iteration();
+}
+
+void Daemon::run_iteration() {
+  if (halted_ || state_ != State::Computing || restore_phase_ != RestorePhase::None) {
+    return;
+  }
+  const std::uint64_t epoch = epoch_;
+  env_->compute([this] { return task_->iterate(); },
+                [this, epoch] {
+                  if (epoch == epoch_ && state_ == State::Computing && !halted_) {
+                    finish_iteration();
+                  }
+                });
+}
+
+void Daemon::finish_iteration() {
+  ++iteration_;
+
+  // Push dependency data to neighbours through the current register; slots
+  // whose daemon failed and has not been replaced yet hold an invalid stub —
+  // those messages are simply not sent (equivalently: lost), per §5.3.
+  for (auto& out : task_->outgoing()) {
+    const net::Stub to = reg_.daemon_of(out.to_task);
+    if (!to.valid()) continue;
+    msg::TaskData data;
+    data.app_id = app_.app_id;
+    data.from_task = task_id_;
+    data.to_task = out.to_task;
+    data.iteration = iteration_;
+    data.payload = std::move(out.payload);
+    rmi::invoke(*env_, to, data);
+  }
+
+  // Local convergence detection (§5.5): report 1/0 transitions only. The
+  // error is only evaluated when the iteration consumed fresh dependency
+  // data; see Task::error_is_informative.
+  if (const auto transition = task_->error_is_informative()
+                                  ? tracker_->update(task_->local_error())
+                                  : std::nullopt) {
+    msg::LocalStateReport report;
+    report.app_id = app_.app_id;
+    report.task_id = task_id_;
+    report.stable = *transition;
+    report.iteration = iteration_;
+    rmi::invoke(*env_, reg_.spawner, report);
+  }
+
+  // Checkpoint every k iterations (jaceSave, §5.4).
+  if (app_.checkpoint_every > 0 && iteration_ % app_.checkpoint_every == 0) {
+    do_checkpoint();
+  }
+
+  run_iteration();
+}
+
+void Daemon::do_checkpoint() {
+  const auto peers = backup_peers_of(task_id_, app_.task_count,
+                                     app_.backup_peer_count);
+  if (peers.empty()) return;
+  // Round-robin across the fixed backup-peer set (paper Figure 5: successive
+  // saves of one task land on alternating neighbours).
+  const TaskId target = peers[save_seq_ % peers.size()];
+  ++save_seq_;
+  const net::Stub holder = reg_.daemon_of(target);
+  if (!holder.valid() || holder == env_->self()) return;
+  msg::SaveBackup save;
+  save.app_id = app_.app_id;
+  save.task_id = task_id_;
+  save.iteration = iteration_;
+  save.state = task_->checkpoint();
+  rmi::invoke(*env_, holder, save);
+}
+
+void Daemon::handle_halt(const msg::GlobalHalt& m) {
+  // finalize_only daemons answer with FinalState on their own schedule; a
+  // re-broadcast halt must not interrupt their restore.
+  if (state_ != State::Computing || m.app_id != app_.app_id || halted_ ||
+      finalize_only_) {
+    return;
+  }
+  halted_ = true;
+
+  msg::FinalState final_state;
+  final_state.app_id = app_.app_id;
+  final_state.task_id = task_id_;
+  final_state.iteration = iteration_;
+  final_state.informative_iterations = task_->informative_iterations();
+  final_state.payload = task_->final_payload();
+  rmi::invoke(*env_, reg_.spawner, final_state);
+
+  teardown_task();
+  begin_bootstrap();  // rejoin the available pool
+}
+
+void Daemon::teardown_task() {
+  finished_apps_.insert(app_.app_id);
+  // Retain the app's Backups for a grace period: a post-halt finalize-only
+  // replacement may still need to read them (see TaskAssignment).
+  const AppId app = app_.app_id;
+  env_->schedule(timing_.backup_retention,
+                 [this, app] { backup_store_.clear_app(app); });
+  task_.reset();
+  tracker_.reset();
+  restore_phase_ = RestorePhase::None;
+  finalize_only_ = false;
+}
+
+}  // namespace jacepp::core

@@ -1,0 +1,142 @@
+// Daemon entity (paper §4.2): the computing peer.
+//
+// Lifecycle:
+//   Bootstrapping → Registered (indexed by a Super-Peer, §5.1)
+//                 → Reserved   (claimed for a Spawner, §5.2)
+//                 → Computing  (running a Task; heartbeats go to the Spawner,
+//                               checkpoints go to backup-peers, §5.3–5.5)
+//                 → back to Bootstrapping after GlobalHalt.
+//
+// A replacement daemon (TaskAssignment.restart) first runs the Backup
+// recovery protocol of §5.4: query the task's backup-peers, reload the
+// highest-iteration checkpoint, or restart from iteration 0 when none
+// survived.
+//
+// The Daemon also hosts a BackupStore for its neighbours' checkpoints.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "asynciter/convergence.hpp"
+#include "core/backup.hpp"
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "core/task.hpp"
+#include "net/env.hpp"
+#include "rmi/rmi.hpp"
+
+namespace jacepp::core {
+
+class Daemon : public net::Actor {
+ public:
+  enum class State : std::uint8_t {
+    Bootstrapping,
+    Registered,
+    Reserved,
+    Computing,
+  };
+
+  /// `bootstrap_addresses` is the paper's stored list of super-peer IP
+  /// addresses: address stubs (incarnation 0) tried in random order.
+  Daemon(std::vector<net::Stub> bootstrap_addresses, TimingConfig timing = {});
+
+  void on_start(net::Env& env) override;
+  void on_message(const net::Message& message, net::Env& env) override;
+  void on_stop(net::Env& env) override;
+
+  // --- Introspection (sim harness / post-shutdown) ---
+  [[nodiscard]] State state() const { return state_; }
+
+  /// Thread-safe state snapshot (readable while the daemon's worker thread
+  /// runs in the threaded runtime; everything else here is not).
+  [[nodiscard]] State observed_state() const {
+    return static_cast<State>(observable_state_.load(std::memory_order_relaxed));
+  }
+  [[nodiscard]] std::uint64_t iteration() const { return iteration_; }
+  [[nodiscard]] TaskId task_id() const { return task_id_; }
+  [[nodiscard]] AppId app_id() const { return app_.app_id; }
+  [[nodiscard]] bool computing() const { return state_ == State::Computing; }
+  [[nodiscard]] const BackupStore& backups() const { return backup_store_; }
+  [[nodiscard]] std::uint64_t restores_from_backup() const { return restores_from_backup_; }
+  [[nodiscard]] std::uint64_t restarts_from_zero() const { return restarts_from_zero_; }
+  [[nodiscard]] std::uint64_t bootstrap_attempts() const { return bootstrap_attempts_; }
+  [[nodiscard]] Task* task() { return task_.get(); }
+
+ private:
+  enum class RestorePhase : std::uint8_t { None, Querying, Fetching };
+
+  // Bootstrapping (§5.1).
+  void begin_bootstrap();
+  void attempt_register();
+
+  // Registered-state heartbeating and SP failure detection (§5.3).
+  void enter_registered(const net::Stub& super_peer);
+
+  // Computing.
+  void handle_assignment(const msg::TaskAssignment& m);
+  void begin_restore();
+  void decide_restore();
+  void restart_from_zero();
+  void start_iterating();
+  void run_iteration();
+  void finish_iteration();
+  void do_checkpoint();
+  void handle_halt(const msg::GlobalHalt& m);
+  void teardown_task();
+
+  void bump_epoch() { ++epoch_; }
+
+  TimingConfig timing_;
+  std::vector<net::Stub> bootstrap_addresses_;
+  rmi::Dispatcher dispatcher_;
+  net::Env* env_ = nullptr;
+
+  void set_state(State s) {
+    state_ = s;
+    observable_state_.store(static_cast<std::uint8_t>(s), std::memory_order_relaxed);
+  }
+
+  State state_ = State::Bootstrapping;
+  std::atomic<std::uint8_t> observable_state_{0};
+  std::uint64_t epoch_ = 0;  ///< bumped on every transition; stale timers die
+
+  // Registered state.
+  net::Stub super_peer_;
+  double last_sp_ack_ = 0.0;
+  std::uint64_t bootstrap_attempts_ = 0;
+
+  // Reserved state.
+  net::Stub reserving_spawner_;
+
+  // Computing state.
+  AppDescriptor app_;
+  TaskId task_id_ = 0;
+  AppRegister reg_;
+  std::unique_ptr<Task> task_;
+  std::uint64_t iteration_ = 0;
+  std::uint64_t save_seq_ = 0;
+  std::optional<asynciter::LocalConvergenceTracker> tracker_;
+  bool halted_ = false;
+  bool finalize_only_ = false;
+
+  // Restore protocol state (§5.4).
+  RestorePhase restore_phase_ = RestorePhase::None;
+  bool best_backup_available_ = false;
+  std::uint64_t best_backup_iteration_ = 0;
+  net::Stub best_backup_holder_;
+
+  BackupStore backup_store_;
+  /// Applications this daemon saw halt: late in-flight SaveBackups for them
+  /// are dropped instead of resurrecting cleared checkpoints.
+  std::set<AppId> finished_apps_;
+
+  std::uint64_t restores_from_backup_ = 0;
+  std::uint64_t restarts_from_zero_ = 0;
+};
+
+}  // namespace jacepp::core

@@ -1,0 +1,142 @@
+#include "core/deployment.hpp"
+
+#include <algorithm>
+
+#include "core/daemon.hpp"
+#include "core/super_peer.hpp"
+#include "support/assert.hpp"
+#include "support/logging.hpp"
+
+namespace jacepp::core {
+
+std::vector<double> uniform_disconnect_schedule(std::size_t count, double start,
+                                                double horizon,
+                                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> times(count);
+  for (double& t : times) t = start + rng.next_double() * horizon;
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+SimDeployment::SimDeployment(SimDeploymentConfig config)
+    : config_(std::move(config)) {
+  world_ = std::make_unique<sim::SimWorld>(config_.sim);
+}
+
+SimDeployment::~SimDeployment() = default;
+
+void SimDeployment::build() {
+  JACEPP_CHECK(!built_, "SimDeployment::build called twice");
+  built_ = true;
+
+  // --- Super-peer overlay (§5.1) ---
+  std::vector<SuperPeer*> super_peers;
+  for (std::size_t i = 0; i < config_.super_peer_count; ++i) {
+    auto sp = std::make_unique<SuperPeer>(config_.timing);
+    SuperPeer* raw = sp.get();
+    const net::Stub stub = world_->add_node(
+        std::move(sp), sim::MachineSpec::super_peer_class(), net::EntityKind::SuperPeer);
+    super_peer_addresses_.push_back(stub.address());
+    super_peer_nodes_.push_back(stub.node);
+    super_peers.push_back(raw);
+  }
+  // Full stubs for the overlay links; address stubs for bootstrap lists.
+  std::vector<net::Stub> full_stubs;
+  for (std::size_t i = 0; i < super_peer_nodes_.size(); ++i) {
+    full_stubs.push_back(net::Stub{super_peer_nodes_[i], 1, net::EntityKind::SuperPeer});
+  }
+  for (SuperPeer* sp : super_peers) sp->set_linked_peers(full_stubs);
+
+  // --- Heterogeneous daemon fleet (§7 hardware mix) ---
+  Rng fleet_rng = world_->rng().split(0xf1ee7);
+  const auto specs = config_.fleet.draw(config_.daemon_count, fleet_rng);
+  for (std::size_t i = 0; i < config_.daemon_count; ++i) {
+    auto daemon = std::make_unique<Daemon>(super_peer_addresses_, config_.timing);
+    const net::Stub stub =
+        world_->add_node(std::move(daemon), specs[i], net::EntityKind::Daemon);
+    daemon_nodes_.push_back(stub.node);
+  }
+
+  // --- Spawner (stable, §5.5) ---
+  auto spawner = std::make_unique<Spawner>(
+      config_.app, super_peer_addresses_,
+      [this](const SpawnerReport&) {
+        completed_ = true;
+        world_->request_stop();
+      },
+      config_.timing);
+  spawner_ = spawner.get();
+  const net::Stub spawner_stub = world_->add_node(
+      std::move(spawner), sim::MachineSpec::spawner_class(), net::EntityKind::Spawner);
+  spawner_node_ = spawner_stub.node;
+
+  // --- Failure injection schedule (§7 experiment protocol) ---
+  for (const double t : config_.disconnect_times) {
+    world_->schedule_global(t, [this] { inject_disconnect(); });
+  }
+}
+
+void SimDeployment::inject_disconnect() {
+  if (completed_) return;
+  // Victim pool: daemons currently holding a task (the paper disconnects
+  // computing peers), optionally widened to idle daemons.
+  std::vector<net::NodeId> candidates;
+  if (config_.disconnect_only_computing && spawner_ != nullptr) {
+    for (const net::Stub& stub : spawner_->computing_daemons()) {
+      if (world_->is_current(stub)) candidates.push_back(stub.node);
+    }
+  }
+  if (candidates.empty()) {
+    for (const net::NodeId node : daemon_nodes_) {
+      if (world_->is_up(node)) candidates.push_back(node);
+    }
+  }
+  if (candidates.empty()) return;
+
+  const net::NodeId victim = candidates[world_->rng().index(candidates.size())];
+  accumulate_counters_from(victim);
+  world_->disconnect(victim);
+  ++report_.disconnections_executed;
+  JACEPP_LOG(Info, "deploy", "disconnected daemon node %llu at %.3f",
+             static_cast<unsigned long long>(victim), world_->now());
+
+  if (config_.reconnect) {
+    world_->schedule_global(config_.reconnect_delay, [this, victim] {
+      if (world_->is_up(victim)) return;  // already revived (should not happen)
+      world_->revive(victim, std::make_unique<Daemon>(super_peer_addresses_,
+                                                      config_.timing));
+      ++report_.reconnections_executed;
+    });
+  }
+}
+
+void SimDeployment::accumulate_counters_from(net::NodeId node) {
+  auto* daemon = dynamic_cast<Daemon*>(world_->actor(node));
+  if (daemon == nullptr) return;
+  report_.restores_from_backup += daemon->restores_from_backup();
+  report_.restarts_from_zero += daemon->restarts_from_zero();
+}
+
+SimExperimentReport SimDeployment::run() {
+  if (!built_) build();
+  world_->run_until(config_.max_sim_time);
+
+  // Aggregate counters from every daemon incarnation still owned by the
+  // world (replaced incarnations were accumulated at disconnect time).
+  for (const net::NodeId node : daemon_nodes_) {
+    accumulate_counters_from(node);
+  }
+
+  if (spawner_ != nullptr) {
+    report_.spawner = spawner_->report();
+    for (const auto it : report_.spawner.final_iterations) {
+      report_.total_iterations_completed += it;
+    }
+  }
+  report_.net = world_->stats();
+  report_.sim_end_time = world_->now();
+  return report_;
+}
+
+}  // namespace jacepp::core

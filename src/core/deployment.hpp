@@ -1,0 +1,104 @@
+// SimDeployment: builds a complete JaceP2P network inside a SimWorld — the
+// super-peer overlay, the heterogeneous daemon fleet, the spawner — injects
+// the disconnection/reconnection schedule of the paper's §7 experiments, runs
+// the application to global convergence, and returns a consolidated report.
+//
+// This is the harness every sim-based experiment (bench/), integration test
+// and example goes through.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/app.hpp"
+#include "core/config.hpp"
+#include "core/spawner.hpp"
+#include "sim/machine.hpp"
+#include "sim/world.hpp"
+
+namespace jacepp::core {
+
+struct SimDeploymentConfig {
+  std::size_t super_peer_count = 3;   ///< paper §7: three super-peers
+  std::size_t daemon_count = 100;     ///< paper §7: about 100 daemons
+  AppDescriptor app;                  ///< what the spawner launches
+  TimingConfig timing;
+  sim::SimConfig sim;
+  sim::FleetModel fleet;
+
+  /// Disconnection schedule (absolute sim times). Victims are drawn at random
+  /// among currently-computing daemons; each reconnects `reconnect_delay`
+  /// seconds later as a fresh daemon (paper: "reconnected about 20 seconds
+  /// later").
+  std::vector<double> disconnect_times;
+  double reconnect_delay = 20.0;
+  bool reconnect = true;
+  /// Pick victims among computing daemons only (the paper disconnects peers
+  /// running the application); false adds idle daemons to the victim pool.
+  bool disconnect_only_computing = true;
+
+  /// Hard stop: abandon the run if convergence has not happened by then.
+  /// (Heartbeat timers re-arm forever, so a stuck run otherwise never ends.)
+  double max_sim_time = 10000.0;
+};
+
+/// Uniformly spread `count` disconnect times over [start, start + horizon].
+std::vector<double> uniform_disconnect_schedule(std::size_t count, double start,
+                                                double horizon,
+                                                std::uint64_t seed);
+
+struct SimExperimentReport {
+  SpawnerReport spawner;
+  sim::NetStats net;
+  double sim_end_time = 0.0;
+  std::size_t disconnections_executed = 0;
+  std::size_t reconnections_executed = 0;
+  /// Aggregated over every daemon incarnation that ever lived in the run.
+  std::uint64_t restores_from_backup = 0;
+  std::uint64_t restarts_from_zero = 0;
+  std::uint64_t total_iterations_completed = 0;  ///< sum of FinalState iters
+};
+
+class SimDeployment {
+ public:
+  explicit SimDeployment(SimDeploymentConfig config);
+  ~SimDeployment();
+
+  /// Build, run to completion (or max_sim_time), and report.
+  SimExperimentReport run();
+
+  /// Access the world (tests drive finer-grained scenarios through it).
+  sim::SimWorld& world() { return *world_; }
+  Spawner* spawner() { return spawner_; }
+  /// Node ids of all daemon machines (original fleet; revived incarnations
+  /// keep their node id).
+  [[nodiscard]] const std::vector<net::NodeId>& daemon_nodes() const {
+    return daemon_nodes_;
+  }
+  [[nodiscard]] const std::vector<net::Stub>& super_peer_addresses() const {
+    return super_peer_addresses_;
+  }
+
+  /// Builds everything without running (tests call world().run_until()).
+  void build();
+
+ private:
+  void inject_disconnect();
+  void accumulate_counters_from(net::NodeId node);
+
+  SimDeploymentConfig config_;
+  std::unique_ptr<sim::SimWorld> world_;
+  std::vector<net::Stub> super_peer_addresses_;
+  std::vector<net::NodeId> super_peer_nodes_;
+  std::vector<net::NodeId> daemon_nodes_;
+  net::NodeId spawner_node_ = net::kInvalidNode;
+  Spawner* spawner_ = nullptr;
+  bool built_ = false;
+  bool completed_ = false;
+
+  SimExperimentReport report_;
+};
+
+}  // namespace jacepp::core

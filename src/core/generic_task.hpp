@@ -1,0 +1,116 @@
+// GenericMultisplitTask — run ANY symmetric positive definite sparse system
+// A x = b on JaceP2P, not just the Poisson instance of the paper.
+//
+// The AppDescriptor config carries the full CSR matrix and right-hand side
+// (practical for the moderate systems a P2P deployment would ship to every
+// peer as "input data"); each task owns a contiguous row block, solves its
+// diagonal block with CG, and exchanges exactly the owned components its
+// neighbours' rows couple to — the dependency sets are derived from the
+// sparsity pattern, so any coupling topology works (not only the Poisson
+// predecessor/successor chain).
+//
+// Registered under the program name "generic.multisplit".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/task.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/csr.hpp"
+#include "linalg/partition.hpp"
+
+namespace jacepp::core {
+
+/// Program arguments for the generic solver.
+struct GenericConfig {
+  linalg::CsrMatrix a;            ///< full system matrix (SPD)
+  linalg::Vector b;               ///< right-hand side
+  double inner_tolerance = 1e-8;
+  std::uint32_t inner_max_iterations = 500;
+  double work_scale = 1.0;
+
+  void serialize(serial::Writer& w) const {
+    a.serialize(w);
+    w.f64_vector(b);
+    w.f64(inner_tolerance);
+    w.u32(inner_max_iterations);
+    w.f64(work_scale);
+  }
+  static GenericConfig deserialize(serial::Reader& r) {
+    GenericConfig c;
+    c.a = linalg::CsrMatrix::deserialize(r);
+    c.b = r.f64_vector();
+    c.inner_tolerance = r.f64();
+    c.inner_max_iterations = r.u32();
+    c.work_scale = r.f64();
+    return c;
+  }
+};
+
+class GenericMultisplitTask : public Task {
+ public:
+  static constexpr const char* kProgramName = "generic.multisplit";
+
+  void init(const AppDescriptor& app, TaskId task_id) override;
+  double iterate() override;
+  std::vector<OutgoingData> outgoing() override;
+  [[nodiscard]] double local_error() const override { return local_error_; }
+  [[nodiscard]] bool error_is_informative() const override { return informative_; }
+  void on_data(TaskId from_task, std::uint64_t iteration,
+               const serial::Bytes& payload) override;
+  [[nodiscard]] serial::Bytes checkpoint() const override;
+  void restore(const serial::Bytes& state) override;
+  [[nodiscard]] serial::Bytes final_payload() const override;
+  [[nodiscard]] std::uint64_t informative_iterations() const override {
+    return informative_count_;
+  }
+
+  // --- Introspection ---
+  [[nodiscard]] const linalg::RowBlock& block() const { return block_; }
+  [[nodiscard]] const std::map<TaskId, std::vector<std::uint32_t>>&
+  export_sets() const {
+    return export_indices_;
+  }
+
+  /// Ensure the "generic.multisplit" registration is linked in.
+  static void force_registration();
+
+ private:
+  GenericConfig config_;
+  TaskId task_id_ = 0;
+  std::uint32_t task_count_ = 0;
+  std::vector<linalg::RowBlock> blocks_;
+  linalg::RowBlock block_;
+
+  linalg::CsrMatrix a_local_;     ///< diagonal block
+  linalg::Vector x_local_;        ///< owned components
+  linalg::Vector x_halo_;         ///< global-length scratch with halo values
+  linalg::Vector owned_prev_;
+
+  /// For each peer task: the GLOBAL indices of MY owned components that the
+  /// peer's rows reference (what I must send it).
+  std::map<TaskId, std::vector<std::uint32_t>> export_indices_;
+  /// For each peer task: last content received (global index → value applied
+  /// into x_halo_); used for content-based freshness.
+  std::map<TaskId, linalg::Vector> last_received_;
+
+  bool fresh_ = false;
+  bool informative_ = false;
+  bool last_solve_converged_ = false;
+  double last_solve_flops_ = 0.0;
+  double local_error_ = 1.0;
+  std::uint64_t iterations_ = 0;
+  std::uint64_t informative_count_ = 0;
+  bool sent_since_solve_ = false;
+  std::uint64_t last_send_iteration_ = 0;
+};
+
+/// Assemble the global solution from per-task FinalState payloads of a
+/// generic run (payload = owned slice as f64_vector).
+linalg::Vector assemble_generic_solution(
+    const linalg::CsrMatrix& a, std::uint32_t task_count,
+    const std::vector<serial::Bytes>& payloads);
+
+}  // namespace jacepp::core

@@ -1,0 +1,401 @@
+// Every protocol message exchanged between JaceP2P entities. Each struct is a
+// "remote method" in the rmi:: sense: a unique type tag plus a serializable
+// payload. Section references are to the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/app.hpp"
+#include "net/message.hpp"
+#include "net/stub.hpp"
+#include "serial/serial.hpp"
+
+namespace jacepp::core::msg {
+
+// ---------------------------------------------------------------------------
+// Bootstrapping & registration (§5.1)
+// ---------------------------------------------------------------------------
+
+/// Daemon → Super-Peer: "index my stub in your Register."
+struct RegisterDaemon {
+  static constexpr net::MessageType kType = 1;
+  net::Stub daemon;
+
+  void serialize(serial::Writer& w) const { daemon.serialize(w); }
+  static RegisterDaemon deserialize(serial::Reader& r) {
+    return RegisterDaemon{net::Stub::deserialize(r)};
+  }
+};
+
+/// Super-Peer → Daemon: registration accepted; carries the SP's full stub so
+/// all later traffic stops using the bootstrap address.
+struct RegisterAck {
+  static constexpr net::MessageType kType = 2;
+  net::Stub super_peer;
+
+  void serialize(serial::Writer& w) const { super_peer.serialize(w); }
+  static RegisterAck deserialize(serial::Reader& r) {
+    return RegisterAck{net::Stub::deserialize(r)};
+  }
+};
+
+/// Harness → Super-Peer: the linked super-peer overlay (§2.2 hybrid topology).
+struct LinkSuperPeers {
+  static constexpr net::MessageType kType = 3;
+  std::vector<net::Stub> peers;
+
+  void serialize(serial::Writer& w) const { w.object_vector(peers); }
+  static LinkSuperPeers deserialize(serial::Reader& r) {
+    return LinkSuperPeers{r.object_vector<net::Stub>()};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Heartbeats & failure detection (§5.3)
+// ---------------------------------------------------------------------------
+
+/// Daemon → Super-Peer (while idle) or Daemon → Spawner (while computing):
+/// periodic liveness signal.
+struct Heartbeat {
+  static constexpr net::MessageType kType = 4;
+
+  void serialize(serial::Writer&) const {}
+  static Heartbeat deserialize(serial::Reader&) { return {}; }
+};
+
+/// Super-Peer → Daemon: heartbeat acknowledgement; its absence is how a
+/// daemon detects that its super-peer died and must re-bootstrap.
+struct HeartbeatAck {
+  static constexpr net::MessageType kType = 5;
+
+  void serialize(serial::Writer&) const {}
+  static HeartbeatAck deserialize(serial::Reader&) { return {}; }
+};
+
+// ---------------------------------------------------------------------------
+// Reservation (§5.2, Figure 2)
+// ---------------------------------------------------------------------------
+
+/// Spawner → Super-Peer (and Super-Peer → linked Super-Peer when forwarding):
+/// reserve `count` daemons for `requester`.
+struct ReserveRequest {
+  static constexpr net::MessageType kType = 6;
+  std::uint32_t request_id = 0;
+  std::uint32_t count = 0;
+  net::Stub requester;
+  /// Super-peers already visited, to terminate forwarding loops.
+  std::vector<net::Stub> visited;
+
+  void serialize(serial::Writer& w) const {
+    w.u32(request_id);
+    w.u32(count);
+    requester.serialize(w);
+    w.object_vector(visited);
+  }
+  static ReserveRequest deserialize(serial::Reader& r) {
+    ReserveRequest m;
+    m.request_id = r.u32();
+    m.count = r.u32();
+    m.requester = net::Stub::deserialize(r);
+    m.visited = r.object_vector<net::Stub>();
+    return m;
+  }
+};
+
+/// Super-Peer → requester: daemons reserved (possibly fewer than asked; the
+/// shortfall was forwarded or nothing was left anywhere).
+struct ReserveReply {
+  static constexpr net::MessageType kType = 7;
+  std::uint32_t request_id = 0;
+  std::vector<net::Stub> daemons;
+  /// True when no super-peer in the overlay could serve the remainder.
+  bool exhausted = false;
+
+  void serialize(serial::Writer& w) const {
+    w.u32(request_id);
+    w.object_vector(daemons);
+    w.boolean(exhausted);
+  }
+  static ReserveReply deserialize(serial::Reader& r) {
+    ReserveReply m;
+    m.request_id = r.u32();
+    m.daemons = r.object_vector<net::Stub>();
+    m.exhausted = r.boolean();
+    return m;
+  }
+};
+
+/// Super-Peer → Daemon: you are reserved by this spawner; expect a task.
+struct Reserved {
+  static constexpr net::MessageType kType = 8;
+  net::Stub spawner;
+
+  void serialize(serial::Writer& w) const { spawner.serialize(w); }
+  static Reserved deserialize(serial::Reader& r) {
+    return Reserved{net::Stub::deserialize(r)};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Launch & register broadcast (§5.2, Figure 3/4)
+// ---------------------------------------------------------------------------
+
+/// Spawner → Daemon: run task `task_id` of this application. `restart` marks
+/// a replacement daemon that must first look for Backups (§5.4).
+struct TaskAssignment {
+  static constexpr net::MessageType kType = 9;
+  AppDescriptor app;
+  TaskId task_id = 0;
+  AppRegister reg;
+  bool restart = false;
+  /// Post-halt result recovery: restore the task from its surviving Backups,
+  /// send FinalState, and return to the pool — do not iterate. Used when the
+  /// task's daemon died in the window between reporting stable and the halt.
+  bool finalize_only = false;
+
+  void serialize(serial::Writer& w) const {
+    app.serialize(w);
+    w.u32(task_id);
+    reg.serialize(w);
+    w.boolean(restart);
+    w.boolean(finalize_only);
+  }
+  static TaskAssignment deserialize(serial::Reader& r) {
+    TaskAssignment m;
+    m.app = AppDescriptor::deserialize(r);
+    m.task_id = r.u32();
+    m.reg = AppRegister::deserialize(r);
+    m.restart = r.boolean();
+    m.finalize_only = r.boolean();
+    return m;
+  }
+};
+
+/// Spawner → all computing Daemons: updated Application Register after a
+/// replacement (Figure 4(b)). Daemons ignore versions older than what they
+/// already hold.
+struct RegisterUpdate {
+  static constexpr net::MessageType kType = 10;
+  AppRegister reg;
+
+  void serialize(serial::Writer& w) const { reg.serialize(w); }
+  static RegisterUpdate deserialize(serial::Reader& r) {
+    return RegisterUpdate{AppRegister::deserialize(r)};
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Inter-task data exchange (the computing dependencies)
+// ---------------------------------------------------------------------------
+
+/// Daemon → Daemon: one task's dependency data for another task (latest-wins
+/// by `iteration` on the receiving side; lost messages are tolerated).
+struct TaskData {
+  static constexpr net::MessageType kType = 11;
+  AppId app_id = 0;
+  TaskId from_task = 0;
+  TaskId to_task = 0;
+  std::uint64_t iteration = 0;
+  serial::Bytes payload;
+
+  void serialize(serial::Writer& w) const {
+    w.u32(app_id);
+    w.u32(from_task);
+    w.u32(to_task);
+    w.u64(iteration);
+    w.bytes(payload);
+  }
+  static TaskData deserialize(serial::Reader& r) {
+    TaskData m;
+    m.app_id = r.u32();
+    m.from_task = r.u32();
+    m.to_task = r.u32();
+    m.iteration = r.u64();
+    m.payload = r.bytes();
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Checkpointing / Backups (§5.4, Figures 5 & 6)
+// ---------------------------------------------------------------------------
+
+/// Daemon → backup-peer Daemon: store this local checkpoint (replaces any
+/// older checkpoint held here for the same task).
+struct SaveBackup {
+  static constexpr net::MessageType kType = 12;
+  AppId app_id = 0;
+  TaskId task_id = 0;
+  std::uint64_t iteration = 0;
+  serial::Bytes state;
+
+  void serialize(serial::Writer& w) const {
+    w.u32(app_id);
+    w.u32(task_id);
+    w.u64(iteration);
+    w.bytes(state);
+  }
+  static SaveBackup deserialize(serial::Reader& r) {
+    SaveBackup m;
+    m.app_id = r.u32();
+    m.task_id = r.u32();
+    m.iteration = r.u64();
+    m.state = r.bytes();
+    return m;
+  }
+};
+
+/// Replacement Daemon → potential backup-peer: which iteration (if any) do
+/// you hold for this task?
+struct QueryBackup {
+  static constexpr net::MessageType kType = 13;
+  AppId app_id = 0;
+  TaskId task_id = 0;
+
+  void serialize(serial::Writer& w) const {
+    w.u32(app_id);
+    w.u32(task_id);
+  }
+  static QueryBackup deserialize(serial::Reader& r) {
+    QueryBackup m;
+    m.app_id = r.u32();
+    m.task_id = r.u32();
+    return m;
+  }
+};
+
+/// Backup-peer → replacement Daemon: checkpoint availability.
+struct BackupInfo {
+  static constexpr net::MessageType kType = 14;
+  AppId app_id = 0;
+  TaskId task_id = 0;
+  bool available = false;
+  std::uint64_t iteration = 0;
+
+  void serialize(serial::Writer& w) const {
+    w.u32(app_id);
+    w.u32(task_id);
+    w.boolean(available);
+    w.u64(iteration);
+  }
+  static BackupInfo deserialize(serial::Reader& r) {
+    BackupInfo m;
+    m.app_id = r.u32();
+    m.task_id = r.u32();
+    m.available = r.boolean();
+    m.iteration = r.u64();
+    return m;
+  }
+};
+
+/// Replacement Daemon → chosen backup-peer: send me the checkpoint bytes.
+struct FetchBackup {
+  static constexpr net::MessageType kType = 15;
+  AppId app_id = 0;
+  TaskId task_id = 0;
+
+  void serialize(serial::Writer& w) const {
+    w.u32(app_id);
+    w.u32(task_id);
+  }
+  static FetchBackup deserialize(serial::Reader& r) {
+    FetchBackup m;
+    m.app_id = r.u32();
+    m.task_id = r.u32();
+    return m;
+  }
+};
+
+/// Backup-peer → replacement Daemon: the checkpoint itself.
+struct BackupData {
+  static constexpr net::MessageType kType = 16;
+  AppId app_id = 0;
+  TaskId task_id = 0;
+  std::uint64_t iteration = 0;
+  serial::Bytes state;
+
+  void serialize(serial::Writer& w) const {
+    w.u32(app_id);
+    w.u32(task_id);
+    w.u64(iteration);
+    w.bytes(state);
+  }
+  static BackupData deserialize(serial::Reader& r) {
+    BackupData m;
+    m.app_id = r.u32();
+    m.task_id = r.u32();
+    m.iteration = r.u64();
+    m.state = r.bytes();
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Convergence detection & halt (§5.5)
+// ---------------------------------------------------------------------------
+
+/// Daemon → Spawner: local state transition (1 = stable, 0 = unstable).
+struct LocalStateReport {
+  static constexpr net::MessageType kType = 17;
+  AppId app_id = 0;
+  TaskId task_id = 0;
+  bool stable = false;
+  std::uint64_t iteration = 0;
+
+  void serialize(serial::Writer& w) const {
+    w.u32(app_id);
+    w.u32(task_id);
+    w.boolean(stable);
+    w.u64(iteration);
+  }
+  static LocalStateReport deserialize(serial::Reader& r) {
+    LocalStateReport m;
+    m.app_id = r.u32();
+    m.task_id = r.u32();
+    m.stable = r.boolean();
+    m.iteration = r.u64();
+    return m;
+  }
+};
+
+/// Spawner → all Daemons: global convergence reached; stop computing.
+struct GlobalHalt {
+  static constexpr net::MessageType kType = 18;
+  AppId app_id = 0;
+
+  void serialize(serial::Writer& w) const { w.u32(app_id); }
+  static GlobalHalt deserialize(serial::Reader& r) {
+    return GlobalHalt{r.u32()};
+  }
+};
+
+/// Daemon → Spawner: final task state after halt (lets the user's harness
+/// assemble the global solution).
+struct FinalState {
+  static constexpr net::MessageType kType = 19;
+  AppId app_id = 0;
+  TaskId task_id = 0;
+  std::uint64_t iteration = 0;
+  std::uint64_t informative_iterations = 0;  ///< iterations with fresh data
+  serial::Bytes payload;
+
+  void serialize(serial::Writer& w) const {
+    w.u32(app_id);
+    w.u32(task_id);
+    w.u64(iteration);
+    w.u64(informative_iterations);
+    w.bytes(payload);
+  }
+  static FinalState deserialize(serial::Reader& r) {
+    FinalState m;
+    m.app_id = r.u32();
+    m.task_id = r.u32();
+    m.iteration = r.u64();
+    m.informative_iterations = r.u64();
+    m.payload = r.bytes();
+    return m;
+  }
+};
+
+}  // namespace jacepp::core::msg

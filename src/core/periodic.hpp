@@ -1,0 +1,28 @@
+// Self-rearming periodic timer helper for entities. The body returns true to
+// keep the timer armed; entities typically also guard with an epoch counter
+// that they bump on state transitions, so stale loops die quietly.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/env.hpp"
+
+namespace jacepp::core {
+
+inline void arm_periodic(net::Env& env, double period, std::function<bool()> body) {
+  struct Tick {
+    net::Env* env;
+    double period;
+    std::shared_ptr<std::function<bool()>> body;
+
+    void operator()() const {
+      if ((*body)()) env->schedule(period, *this);
+    }
+  };
+  env.schedule(period,
+               Tick{&env, period,
+                    std::make_shared<std::function<bool()>>(std::move(body))});
+}
+
+}  // namespace jacepp::core

@@ -1,0 +1,385 @@
+#include "core/spawner.hpp"
+
+#include <algorithm>
+
+#include "core/periodic.hpp"
+#include "support/logging.hpp"
+
+namespace jacepp::core {
+
+Spawner::Spawner(AppDescriptor app, std::vector<net::Stub> bootstrap_addresses,
+                 CompletionCallback on_complete, TimingConfig timing)
+    : app_(std::move(app)),
+      timing_(timing),
+      bootstrap_addresses_(std::move(bootstrap_addresses)),
+      on_complete_(std::move(on_complete)) {
+  JACEPP_CHECK(app_.task_count > 0, "Spawner: application needs >= 1 task");
+  JACEPP_CHECK(!bootstrap_addresses_.empty(),
+               "Spawner needs at least one super-peer bootstrap address");
+
+  board_.resize(app_.task_count);
+  report_.final_iterations.assign(app_.task_count, 0);
+  report_.final_informative_iterations.assign(app_.task_count, 0);
+  report_.final_payloads.assign(app_.task_count, {});
+
+  dispatcher_.on<msg::ReserveReply>(
+      [this](const msg::ReserveReply& m, const net::Message&, net::Env&) {
+        handle_reserve_reply(m);
+      });
+  dispatcher_.on<msg::Heartbeat>(
+      [this](const msg::Heartbeat&, const net::Message& raw, net::Env& env) {
+        const auto it = task_of_daemon_.find(raw.from);
+        if (it != task_of_daemon_.end()) last_heartbeat_[it->second] = env.now();
+      });
+  dispatcher_.on<msg::LocalStateReport>(
+      [this](const msg::LocalStateReport& m, const net::Message& raw, net::Env&) {
+        handle_local_state(m, raw);
+      });
+  dispatcher_.on<msg::FinalState>(
+      [this](const msg::FinalState& m, const net::Message&, net::Env&) {
+        handle_final_state(m);
+      });
+}
+
+void Spawner::on_start(net::Env& env) {
+  env_ = &env;
+  reg_.app_id = app_.app_id;
+  reg_.spawner = env.self();
+
+  request_daemons(app_.task_count);
+
+  // Reservation watchdog: while the launch (or a replacement) is short of
+  // daemons and no request is in flight, ask again — daemons may have joined
+  // the super-peer registers in the meantime.
+  arm_periodic(env, timing_.reserve_retry, [this]() -> bool {
+    if (finished_) return false;
+    expire_stale_requests();
+    std::uint32_t needed = 0;
+    if (!launched_) {
+      const auto have = static_cast<std::uint32_t>(pool_.size());
+      needed = app_.task_count > have ? app_.task_count - have : 0;
+    } else {
+      const auto have = static_cast<std::uint32_t>(pool_.size());
+      const auto want = static_cast<std::uint32_t>(awaiting_replacement_.size() +
+                                                   awaiting_final_recovery_.size());
+      needed = want > have ? want - have : 0;
+    }
+    const std::uint32_t outstanding = outstanding_requested();
+    if (needed > outstanding) {
+      request_daemons(needed - outstanding);
+    }
+    return true;
+  });
+
+  // Heartbeat sweep for computing daemons (§5.3). The sweep also re-checks
+  // the halt condition, since maybe_halt() can defer on a stale heartbeat.
+  arm_periodic(env, timing_.sweep_period, [this]() -> bool {
+    if (finished_) return false;
+    if (launched_ && !halt_broadcast_) {
+      sweep_heartbeats();
+      maybe_halt();
+    }
+    return true;
+  });
+}
+
+void Spawner::on_message(const net::Message& message, net::Env& env) {
+  dispatcher_.dispatch(message, env);
+}
+
+std::vector<net::Stub> Spawner::computing_daemons() const {
+  std::vector<net::Stub> stubs;
+  for (const auto& entry : reg_.tasks) {
+    if (entry.daemon.valid()) stubs.push_back(entry.daemon);
+  }
+  return stubs;
+}
+
+void Spawner::request_daemons(std::uint32_t count) {
+  if (count == 0) return;
+  msg::ReserveRequest request;
+  request.request_id = next_request_id_++;
+  request.count = count;
+  request.requester = env_->self();
+  // Bootstrap: pick a random super-peer address (§5.1, same strategy as the
+  // daemons). If it is down the reservation watchdog retries elsewhere.
+  const net::Stub& entry_point =
+      bootstrap_addresses_[env_->rng().index(bootstrap_addresses_.size())];
+  rmi::invoke(*env_, entry_point, request);
+  pending_requests_[request.request_id] = PendingRequest{count, env_->now()};
+}
+
+std::uint32_t Spawner::outstanding_requested() const {
+  std::uint32_t total = 0;
+  for (const auto& [id, req] : pending_requests_) total += req.remaining;
+  return total;
+}
+
+void Spawner::expire_stale_requests() {
+  // A request whose replies have not fully arrived within two retry periods
+  // is written off (its entry point may be dead); any late grants still
+  // count — the daemons arrive Reserved and get used or time back out.
+  const double cutoff = env_->now() - 2.0 * timing_.reserve_retry;
+  for (auto it = pending_requests_.begin(); it != pending_requests_.end();) {
+    if (it->second.issued_at < cutoff) {
+      it = pending_requests_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Spawner::handle_reserve_reply(const msg::ReserveReply& m) {
+  const auto granted = static_cast<std::uint32_t>(m.daemons.size());
+  const auto pending = pending_requests_.find(m.request_id);
+  if (pending != pending_requests_.end()) {
+    if (m.exhausted || granted >= pending->second.remaining) {
+      // Fully served, or the overlay has nothing left for the remainder:
+      // stop counting it so the watchdog can ask again later.
+      pending_requests_.erase(pending);
+    } else {
+      pending->second.remaining -= granted;
+    }
+  }
+  for (const net::Stub& daemon : m.daemons) pool_.push_back(daemon);
+
+  if (!launched_) {
+    try_launch();
+  } else {
+    // Serve pending replacements FIFO (paper Figure 4).
+    while (!awaiting_replacement_.empty() && !pool_.empty()) {
+      const TaskId task = awaiting_replacement_.front();
+      awaiting_replacement_.pop_front();
+      const net::Stub daemon = pool_.front();
+      pool_.erase(pool_.begin());
+      assign_task(task, daemon, /*restart=*/true);
+      ++report_.replacements;
+    }
+    if (halt_broadcast_) serve_final_recovery();
+    if (!pool_.empty() && awaiting_replacement_.empty() &&
+        awaiting_final_recovery_.empty() && halt_broadcast_) {
+      // Late grants after halt: nothing to run; daemons fall back to
+      // re-registration via their reserved-timeout.
+      pool_.clear();
+    }
+  }
+}
+
+void Spawner::try_launch() {
+  if (launched_ || pool_.size() < app_.task_count) return;
+  launched_ = true;
+  report_.launch_time = env_->now();
+
+  reg_.version = 1;
+  reg_.tasks.clear();
+  for (TaskId task = 0; task < app_.task_count; ++task) {
+    TaskEntry entry;
+    entry.task_id = task;
+    entry.daemon = pool_[task];
+    reg_.tasks.push_back(entry);
+    task_of_daemon_[pool_[task]] = task;
+    last_heartbeat_[task] = env_->now();
+  }
+  pool_.erase(pool_.begin(), pool_.begin() + app_.task_count);
+
+  for (const TaskEntry& entry : reg_.tasks) {
+    msg::TaskAssignment assignment;
+    assignment.app = app_;
+    assignment.task_id = entry.task_id;
+    assignment.reg = reg_;
+    assignment.restart = false;
+    rmi::invoke(*env_, entry.daemon, assignment);
+  }
+  JACEPP_LOG(Info, "spawner", "application %u launched on %u daemons at %.3f",
+             app_.app_id, app_.task_count, env_->now());
+}
+
+void Spawner::assign_task(TaskId task, const net::Stub& daemon, bool restart) {
+  // Update the register first so the assignment carries the fresh mapping.
+  ++reg_.version;
+  for (TaskEntry& entry : reg_.tasks) {
+    if (entry.task_id == task) entry.daemon = daemon;
+  }
+  task_of_daemon_[daemon] = task;
+  last_heartbeat_[task] = env_->now();
+  board_.invalidate(task);
+
+  msg::TaskAssignment assignment;
+  assignment.app = app_;
+  assignment.task_id = task;
+  assignment.reg = reg_;
+  assignment.restart = restart;
+  rmi::invoke(*env_, daemon, assignment);
+
+  broadcast_register();
+}
+
+void Spawner::broadcast_register() {
+  msg::RegisterUpdate update;
+  update.reg = reg_;
+  for (const TaskEntry& entry : reg_.tasks) {
+    if (entry.daemon.valid()) {
+      rmi::invoke(*env_, entry.daemon, update);
+    }
+  }
+}
+
+void Spawner::sweep_heartbeats() {
+  const double deadline = env_->now() - timing_.daemon_timeout;
+  bool changed = false;
+  for (TaskEntry& entry : reg_.tasks) {
+    if (!entry.daemon.valid()) continue;  // already awaiting replacement
+    const auto hb = last_heartbeat_.find(entry.task_id);
+    if (hb != last_heartbeat_.end() && hb->second < deadline) {
+      JACEPP_LOG(Info, "spawner",
+                 "daemon %s (task %u) timed out at %.3f; scheduling replacement",
+                 entry.daemon.to_debug_string().c_str(), entry.task_id,
+                 env_->now());
+      task_of_daemon_.erase(entry.daemon);
+      entry.daemon = net::Stub{};
+      board_.invalidate(entry.task_id);
+      awaiting_replacement_.push_back(entry.task_id);
+      ++report_.failures_detected;
+      ++reg_.version;
+      changed = true;
+    }
+  }
+  if (changed) {
+    broadcast_register();
+    // Ask the overlay for replacements right away (the watchdog would also
+    // catch this, but the paper's spawner reacts immediately, Figure 4).
+    const auto want = static_cast<std::uint32_t>(awaiting_replacement_.size());
+    const auto have = static_cast<std::uint32_t>(pool_.size());
+    const std::uint32_t needed = want > have ? want - have : 0;
+    const std::uint32_t outstanding = outstanding_requested();
+    if (needed > outstanding) {
+      request_daemons(needed - outstanding);
+    }
+  }
+}
+
+void Spawner::handle_local_state(const msg::LocalStateReport& m,
+                                 const net::Message& raw) {
+  if (halt_broadcast_ || m.app_id != app_.app_id) return;
+  // Ignore reports from daemons that are no longer the owner of the task
+  // (e.g. a zombie that we already declared dead).
+  if (reg_.daemon_of(m.task_id) != raw.from) return;
+  board_.set(m.task_id, m.stable);
+  maybe_halt();
+}
+
+void Spawner::maybe_halt() {
+  if (halt_broadcast_ || !launched_ || !board_.all_stable() ||
+      !awaiting_replacement_.empty()) {
+    return;
+  }
+  // Freshness gate: a daemon that crashed after reporting stable leaves its
+  // board cell at 1 until the timeout fires; requiring a recent heartbeat
+  // from every computing daemon shrinks that race window from the full
+  // daemon_timeout down to ~2 heartbeat periods. (The sweep timer re-checks,
+  // so a halt deferred here still happens.)
+  const double fresh_after = env_->now() - 2.5 * timing_.heartbeat_period;
+  for (const TaskEntry& entry : reg_.tasks) {
+    if (!entry.daemon.valid()) return;
+    const auto hb = last_heartbeat_.find(entry.task_id);
+    if (hb == last_heartbeat_.end() || hb->second < fresh_after) return;
+  }
+  broadcast_halt();
+}
+
+void Spawner::broadcast_halt() {
+  halt_broadcast_ = true;
+  report_.convergence_time = env_->now();
+  msg::GlobalHalt halt;
+  halt.app_id = app_.app_id;
+  for (const TaskEntry& entry : reg_.tasks) {
+    if (entry.daemon.valid()) rmi::invoke(*env_, entry.daemon, halt);
+  }
+  JACEPP_LOG(Info, "spawner", "global convergence detected at %.3f",
+             report_.convergence_time);
+  // Collect FinalStates, but do not wait forever.
+  env_->schedule(timing_.final_state_timeout, [this] { retry_final_states(); });
+}
+
+void Spawner::retry_final_states() {
+  if (finished_) return;
+  if (final_state_attempts_ >= 4 || final_states_received_ == app_.task_count) {
+    finish();
+    return;
+  }
+  ++final_state_attempts_;
+  const double presumed_dead_before = env_->now() - timing_.daemon_timeout;
+  msg::GlobalHalt halt;
+  halt.app_id = app_.app_id;
+  for (TaskId task = 0; task < app_.task_count; ++task) {
+    if (!report_.final_payloads[task].empty()) continue;
+    const net::Stub daemon = reg_.daemon_of(task);
+    const auto hb = last_heartbeat_.find(task);
+    const bool presumed_dead = !daemon.valid() || hb == last_heartbeat_.end() ||
+                               hb->second < presumed_dead_before;
+    if (!presumed_dead) {
+      // Likely a lost halt/FinalState message: ask again.
+      rmi::invoke(*env_, daemon, halt);
+    } else if (recovery_requested_.insert(task).second) {
+      // The daemon died in the stable→halt race window: recover the task's
+      // last checkpoint through a finalize-only replacement (§5.4 Backups
+      // are retained by the other daemons for exactly this).
+      JACEPP_LOG(Info, "spawner",
+                 "task %u lost its daemon around the halt; recovering its "
+                 "final state from backups",
+                 task);
+      awaiting_final_recovery_.push_back(task);
+    }
+  }
+  expire_stale_requests();
+  const auto want = static_cast<std::uint32_t>(awaiting_final_recovery_.size());
+  const auto have = static_cast<std::uint32_t>(pool_.size());
+  const std::uint32_t outstanding = outstanding_requested();
+  if (want > have && want - have > outstanding) {
+    request_daemons(want - have - outstanding);
+  }
+  serve_final_recovery();
+  env_->schedule(timing_.final_state_timeout, [this] { retry_final_states(); });
+}
+
+void Spawner::serve_final_recovery() {
+  while (!awaiting_final_recovery_.empty() && !pool_.empty()) {
+    const TaskId task = awaiting_final_recovery_.front();
+    awaiting_final_recovery_.pop_front();
+    const net::Stub daemon = pool_.front();
+    pool_.erase(pool_.begin());
+
+    ++reg_.version;
+    for (TaskEntry& entry : reg_.tasks) {
+      if (entry.task_id == task) entry.daemon = daemon;
+    }
+    task_of_daemon_[daemon] = task;
+
+    msg::TaskAssignment assignment;
+    assignment.app = app_;
+    assignment.task_id = task;
+    assignment.reg = reg_;
+    assignment.restart = true;
+    assignment.finalize_only = true;
+    rmi::invoke(*env_, daemon, assignment);
+  }
+}
+
+void Spawner::handle_final_state(const msg::FinalState& m) {
+  if (m.app_id != app_.app_id || m.task_id >= app_.task_count) return;
+  if (report_.final_payloads[m.task_id].empty()) ++final_states_received_;
+  report_.final_iterations[m.task_id] = m.iteration;
+  report_.final_informative_iterations[m.task_id] = m.informative_iterations;
+  report_.final_payloads[m.task_id] = m.payload;
+  if (final_states_received_ == app_.task_count && !finished_) finish();
+}
+
+void Spawner::finish() {
+  finished_ = true;
+  report_.completed = halt_broadcast_;
+  report_.finish_time = env_->now();
+  if (on_complete_) on_complete_(report_);
+  env_->shutdown_self();
+}
+
+}  // namespace jacepp::core

@@ -1,0 +1,140 @@
+// Spawner entity (paper §4.2, §5.2–5.5): the stable peer run by the
+// application programmer. It reserves daemons through the super-peer overlay,
+// launches the application, maintains and broadcasts the Application
+// Register, detects computing-daemon failures by heartbeat timeout, replaces
+// them, performs centralized global convergence detection, and halts the
+// application.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "asynciter/convergence.hpp"
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "net/env.hpp"
+#include "rmi/rmi.hpp"
+
+namespace jacepp::core {
+
+/// What the Spawner knows once the application has terminated.
+struct SpawnerReport {
+  bool completed = false;
+  double launch_time = 0.0;        ///< when all tasks were first assigned
+  double convergence_time = 0.0;   ///< when global convergence was detected
+  double finish_time = 0.0;        ///< when the report was emitted
+  std::uint64_t failures_detected = 0;
+  std::uint64_t replacements = 0;
+  /// Final iteration count per task (from FinalState; 0 if never received).
+  std::vector<std::uint64_t> final_iterations;
+  /// Iterations that consumed fresh dependency data, per task.
+  std::vector<std::uint64_t> final_informative_iterations;
+  /// Final payload per task (empty if never received).
+  std::vector<serial::Bytes> final_payloads;
+
+  [[nodiscard]] double execution_time() const {
+    return convergence_time;  // measured from t=0 (spawner start), like the paper
+  }
+  [[nodiscard]] std::uint64_t max_iteration() const {
+    std::uint64_t best = 0;
+    for (auto it : final_iterations) best = std::max(best, it);
+    return best;
+  }
+  [[nodiscard]] double mean_informative_iteration() const {
+    if (final_informative_iterations.empty()) return 0.0;
+    double sum = 0.0;
+    for (auto it : final_informative_iterations) sum += static_cast<double>(it);
+    return sum / static_cast<double>(final_informative_iterations.size());
+  }
+  [[nodiscard]] double mean_iteration() const {
+    if (final_iterations.empty()) return 0.0;
+    double sum = 0.0;
+    for (auto it : final_iterations) sum += static_cast<double>(it);
+    return sum / static_cast<double>(final_iterations.size());
+  }
+};
+
+class Spawner : public net::Actor {
+ public:
+  using CompletionCallback = std::function<void(const SpawnerReport&)>;
+
+  /// `bootstrap_addresses`: super-peer address stubs (like the daemons').
+  /// `on_complete` fires exactly once, after halt + final-state collection.
+  Spawner(AppDescriptor app, std::vector<net::Stub> bootstrap_addresses,
+          CompletionCallback on_complete, TimingConfig timing = {});
+
+  void on_start(net::Env& env) override;
+  void on_message(const net::Message& message, net::Env& env) override;
+
+  // --- Introspection ---
+  [[nodiscard]] bool launched() const { return launched_; }
+  [[nodiscard]] bool halted() const { return halt_broadcast_; }
+  [[nodiscard]] const AppRegister& app_register() const { return reg_; }
+  [[nodiscard]] const SpawnerReport& report() const { return report_; }
+  [[nodiscard]] std::size_t pending_replacements() const {
+    return awaiting_replacement_.size();
+  }
+  /// Stubs of all daemons currently holding a task (for the failure injector).
+  [[nodiscard]] std::vector<net::Stub> computing_daemons() const;
+
+ private:
+  void request_daemons(std::uint32_t count);
+  void handle_reserve_reply(const msg::ReserveReply& m);
+  void try_launch();
+  void assign_task(TaskId task, const net::Stub& daemon, bool restart);
+  void broadcast_register();
+  void sweep_heartbeats();
+  void handle_local_state(const msg::LocalStateReport& m, const net::Message& raw);
+  void maybe_halt();
+  void broadcast_halt();
+  void retry_final_states();
+  void serve_final_recovery();
+  void handle_final_state(const msg::FinalState& m);
+  void finish();
+
+  AppDescriptor app_;
+  TimingConfig timing_;
+  std::vector<net::Stub> bootstrap_addresses_;
+  CompletionCallback on_complete_;
+  rmi::Dispatcher dispatcher_;
+  net::Env* env_ = nullptr;
+
+  // Reservation state. Requests are tracked individually and expire after a
+  // couple of retry periods — a request sent to a dead super-peer must never
+  // count as outstanding forever.
+  struct PendingRequest {
+    std::uint32_t remaining = 0;
+    double issued_at = 0.0;
+  };
+  [[nodiscard]] std::uint32_t outstanding_requested() const;
+  void expire_stale_requests();
+
+  std::uint32_t next_request_id_ = 1;
+  std::map<std::uint32_t, PendingRequest> pending_requests_;
+  std::vector<net::Stub> pool_;              ///< reserved, not yet assigned
+
+  // Application state.
+  bool launched_ = false;
+  AppRegister reg_;
+  std::map<net::Stub, TaskId> task_of_daemon_;
+  std::map<TaskId, double> last_heartbeat_;
+  std::deque<TaskId> awaiting_replacement_;  ///< failed tasks needing a daemon
+  asynciter::GlobalConvergenceBoard board_;
+
+  // Termination state.
+  bool halt_broadcast_ = false;
+  bool finished_ = false;
+  std::size_t final_states_received_ = 0;
+  int final_state_attempts_ = 0;
+  /// Tasks whose daemon died around the halt; their final state is recovered
+  /// from Backups by finalize-only replacements.
+  std::deque<TaskId> awaiting_final_recovery_;
+  std::set<TaskId> recovery_requested_;
+  SpawnerReport report_;
+};
+
+}  // namespace jacepp::core

@@ -1,0 +1,143 @@
+#include "core/super_peer.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace jacepp::core {
+
+SuperPeer::SuperPeer(TimingConfig timing) : timing_(timing) {
+  dispatcher_.on<msg::RegisterDaemon>(
+      [this](const msg::RegisterDaemon& m, const net::Message&, net::Env& env) {
+        handle_register(m, env);
+      });
+  dispatcher_.on<msg::Heartbeat>(
+      [this](const msg::Heartbeat&, const net::Message& raw, net::Env& env) {
+        handle_heartbeat(raw, env);
+      });
+  dispatcher_.on<msg::LinkSuperPeers>(
+      [this](const msg::LinkSuperPeers& m, const net::Message&, net::Env& env) {
+        handle_link(m, env);
+      });
+  dispatcher_.on<msg::ReserveRequest>(
+      [this](const msg::ReserveRequest& m, const net::Message&, net::Env& env) {
+        handle_reserve(m, env);
+      });
+}
+
+void SuperPeer::on_start(net::Env& env) {
+  env_ = &env;
+  // Periodic register sweep: drop daemons that stopped heartbeating (§5.3).
+  // Self-rearming timer (value-copyable, so it can reschedule itself).
+  struct Rearm {
+    SuperPeer* self;
+    net::Env* env;
+    void operator()() const {
+      self->sweep(*env);
+      env->schedule(self->timing_.sweep_period, Rearm{self, env});
+    }
+  };
+  env.schedule(timing_.sweep_period, Rearm{this, &env});
+}
+
+void SuperPeer::on_message(const net::Message& message, net::Env& env) {
+  dispatcher_.dispatch(message, env);
+}
+
+bool SuperPeer::has_registered(const net::Stub& daemon) const {
+  return register_.count(daemon) != 0;
+}
+
+void SuperPeer::handle_register(const msg::RegisterDaemon& m, net::Env& env) {
+  register_[m.daemon] = env.now();
+  rmi::invoke(env, m.daemon, msg::RegisterAck{env.self()});
+  JACEPP_LOG(Debug, "super-peer", "%s registered %s",
+             env.self().to_debug_string().c_str(),
+             m.daemon.to_debug_string().c_str());
+}
+
+void SuperPeer::handle_heartbeat(const net::Message& raw, net::Env& env) {
+  // Only refresh daemons that are actually in the register; a reserved or
+  // unknown daemon gets no ack, steering it to re-register if it believes it
+  // is still indexed here.
+  const auto it = register_.find(raw.from);
+  if (it == register_.end()) return;
+  it->second = env.now();
+  rmi::invoke(env, raw.from, msg::HeartbeatAck{});
+}
+
+void SuperPeer::handle_link(const msg::LinkSuperPeers& m, net::Env& env) {
+  peers_.clear();
+  for (const net::Stub& peer : m.peers) {
+    if (peer.node != env.self().node) peers_.push_back(peer);
+  }
+}
+
+void SuperPeer::handle_reserve(const msg::ReserveRequest& m, net::Env& env) {
+  // Fill as much as possible from the local register (FIFO by stub order).
+  std::vector<net::Stub> granted;
+  while (granted.size() < m.count && !register_.empty()) {
+    const auto it = register_.begin();
+    granted.push_back(it->first);
+    register_.erase(it);
+  }
+  for (const net::Stub& daemon : granted) {
+    rmi::invoke(env, daemon, msg::Reserved{m.requester});
+  }
+  reservations_served_ += granted.size();
+
+  const std::uint32_t shortfall =
+      m.count - static_cast<std::uint32_t>(granted.size());
+  bool exhausted = false;
+  if (shortfall > 0) {
+    // Forward the remainder to a linked super-peer not yet visited
+    // (paper Figure 2: SP1 reserves the third daemon on SP2).
+    auto visited = m.visited;
+    visited.push_back(env.self());
+    const net::Stub* next = nullptr;
+    for (const net::Stub& peer : peers_) {
+      const bool seen =
+          std::any_of(visited.begin(), visited.end(),
+                      [&](const net::Stub& v) { return v.node == peer.node; });
+      if (!seen) {
+        next = &peer;
+        break;
+      }
+    }
+    if (next != nullptr) {
+      msg::ReserveRequest forward;
+      forward.request_id = m.request_id;
+      forward.count = shortfall;
+      forward.requester = m.requester;
+      forward.visited = std::move(visited);
+      rmi::invoke(env, *next, forward);
+      ++requests_forwarded_;
+    } else {
+      exhausted = true;  // whole overlay visited; requester must retry later
+    }
+  }
+
+  if (!granted.empty() || exhausted) {
+    msg::ReserveReply reply;
+    reply.request_id = m.request_id;
+    reply.daemons = std::move(granted);
+    reply.exhausted = exhausted;
+    rmi::invoke(env, m.requester, reply);
+  }
+}
+
+void SuperPeer::sweep(net::Env& env) {
+  const double deadline = env.now() - timing_.daemon_timeout;
+  for (auto it = register_.begin(); it != register_.end();) {
+    if (it->second < deadline) {
+      JACEPP_LOG(Debug, "super-peer", "sweeping dead daemon %s",
+                 it->first.to_debug_string().c_str());
+      it = register_.erase(it);
+      ++daemons_swept_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace jacepp::core

@@ -1,0 +1,58 @@
+// Super-Peer entity (paper §4.2, §5.1–5.3): entry point of the JaceP2P
+// network. Indexes available daemons in its Register, answers reservation
+// requests (filling locally, forwarding the shortfall across the super-peer
+// overlay), and sweeps out daemons whose heartbeats stop.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/messages.hpp"
+#include "net/env.hpp"
+#include "rmi/rmi.hpp"
+
+namespace jacepp::core {
+
+class SuperPeer : public net::Actor {
+ public:
+  explicit SuperPeer(TimingConfig timing = {});
+
+  void on_start(net::Env& env) override;
+  void on_message(const net::Message& message, net::Env& env) override;
+
+  /// Configure the super-peer overlay before the entity starts (harness-side
+  /// alternative to the LinkSuperPeers message; self is filtered out later).
+  void set_linked_peers(std::vector<net::Stub> peers) { peers_ = std::move(peers); }
+
+  // --- Introspection (harness/tests; single-threaded access in sim,
+  //     post-shutdown access in rt) ---
+  [[nodiscard]] std::size_t registered_count() const { return register_.size(); }
+  [[nodiscard]] bool has_registered(const net::Stub& daemon) const;
+  [[nodiscard]] const std::vector<net::Stub>& linked_peers() const { return peers_; }
+  [[nodiscard]] std::uint64_t reservations_served() const { return reservations_served_; }
+  [[nodiscard]] std::uint64_t requests_forwarded() const { return requests_forwarded_; }
+  [[nodiscard]] std::uint64_t daemons_swept() const { return daemons_swept_; }
+
+ private:
+  void handle_register(const msg::RegisterDaemon& m, net::Env& env);
+  void handle_heartbeat(const net::Message& raw, net::Env& env);
+  void handle_link(const msg::LinkSuperPeers& m, net::Env& env);
+  void handle_reserve(const msg::ReserveRequest& m, net::Env& env);
+  void sweep(net::Env& env);
+
+  TimingConfig timing_;
+  rmi::Dispatcher dispatcher_;
+  net::Env* env_ = nullptr;
+
+  /// The Register (paper Figure 1): daemon stub → last heartbeat time.
+  std::map<net::Stub, double> register_;
+  std::vector<net::Stub> peers_;  ///< linked super-peers (overlay)
+
+  std::uint64_t reservations_served_ = 0;
+  std::uint64_t requests_forwarded_ = 0;
+  std::uint64_t daemons_swept_ = 0;
+};
+
+}  // namespace jacepp::core

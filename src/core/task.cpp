@@ -1,0 +1,28 @@
+#include "core/task.hpp"
+
+namespace jacepp::core {
+
+TaskProgramRegistry& TaskProgramRegistry::instance() {
+  static TaskProgramRegistry registry;
+  return registry;
+}
+
+void TaskProgramRegistry::register_program(const std::string& name,
+                                           Factory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  factories_[name] = std::move(factory);
+}
+
+std::unique_ptr<Task> TaskProgramRegistry::create(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) return nullptr;
+  return it->second();
+}
+
+bool TaskProgramRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(name) != 0;
+}
+
+}  // namespace jacepp::core

@@ -1,0 +1,91 @@
+#include "linalg/cg.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace jacepp::linalg {
+
+CgResult conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
+                            const CgOptions& options) {
+  const std::size_t n = b.size();
+  JACEPP_ASSERT(a.rows() == n && a.cols() == n);
+  if (x.size() != n) x.assign(n, 0.0);
+
+  CgResult result;
+  const double nnz_work = 2.0 * static_cast<double>(a.nnz());
+  const double vec_work = static_cast<double>(n);
+
+  Vector inv_diag;
+  if (options.jacobi_preconditioner) {
+    inv_diag = a.diagonal();
+    for (double& d : inv_diag) {
+      JACEPP_CHECK(d != 0.0, "Jacobi preconditioner: zero diagonal entry");
+      d = 1.0 / d;
+    }
+  }
+
+  Vector r(n), z(n), p(n), ap(n);
+  a.multiply(x, ap);
+  result.flops += nnz_work;
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+
+  auto apply_precond = [&](const Vector& rin, Vector& zout) {
+    if (options.jacobi_preconditioner) {
+      for (std::size_t i = 0; i < n; ++i) zout[i] = inv_diag[i] * rin[i];
+      result.flops += vec_work;
+    } else {
+      zout = rin;
+    }
+  };
+
+  const double b_norm = norm2(b);
+  const double threshold = options.tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+
+  double r_norm = norm2(r);
+  if (r_norm <= threshold) {
+    result.converged = true;
+    result.residual_norm = r_norm;
+    return result;
+  }
+
+  apply_precond(r, z);
+  p = z;
+  double rz = dot(r, z);
+  result.flops += 2.0 * vec_work;
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    a.multiply(p, ap);
+    const double p_ap = dot(p, ap);
+    result.flops += nnz_work + 2.0 * vec_work;
+    if (p_ap <= 0.0) {
+      // Non-SPD system or total breakdown; report divergence rather than abort
+      // so callers (the async runtime) can react.
+      break;
+    }
+    const double alpha = rz / p_ap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    result.flops += 4.0 * vec_work;
+    ++result.iterations;
+
+    r_norm = norm2(r);
+    result.flops += 2.0 * vec_work;
+    if (r_norm <= threshold) {
+      result.converged = true;
+      break;
+    }
+
+    apply_precond(r, z);
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    result.flops += 4.0 * vec_work;
+  }
+
+  result.residual_norm = r_norm;
+  return result;
+}
+
+}  // namespace jacepp::linalg

@@ -1,0 +1,33 @@
+// Sparse Conjugate Gradient — the inner solver of the paper's block-Jacobi
+// multisplitting (paper §6: "we have chosen the sparse Conjugate Gradient
+// algorithm"). Plain CG and a Jacobi (diagonal) preconditioned variant.
+#pragma once
+
+#include <cstddef>
+
+#include "linalg/csr.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace jacepp::linalg {
+
+struct CgOptions {
+  double tolerance = 1e-10;      ///< stop when ||r|| <= tolerance * ||b||
+  std::size_t max_iterations = 1000;
+  bool jacobi_preconditioner = false;
+};
+
+struct CgResult {
+  bool converged = false;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;    ///< final ||b - Ax||_2
+  /// Total floating point work performed, in "flop" units (used by the
+  /// simulator's compute-cost model).
+  double flops = 0.0;
+};
+
+/// Solve A x = b for symmetric positive definite A, starting from the given x
+/// (warm start). x is updated in place.
+CgResult conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
+                            const CgOptions& options = {});
+
+}  // namespace jacepp::linalg

@@ -1,0 +1,159 @@
+#include "linalg/splitting.hpp"
+
+#include <cmath>
+
+#include "linalg/cg.hpp"
+#include "support/assert.hpp"
+
+namespace jacepp::linalg {
+
+bool has_m_matrix_sign_pattern(const CsrMatrix& a) {
+  JACEPP_ASSERT(a.rows() == a.cols());
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    bool has_positive_diag = false;
+    for (std::uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      if (col_idx[k] == r) {
+        if (values[k] <= 0.0) return false;
+        has_positive_diag = true;
+      } else if (values[k] > 0.0) {
+        return false;
+      }
+    }
+    if (!has_positive_diag) return false;
+  }
+  return true;
+}
+
+bool is_weakly_diagonally_dominant(const CsrMatrix& a, bool* any_strict) {
+  JACEPP_ASSERT(a.rows() == a.cols());
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  bool strict = false;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double diag = 0.0;
+    double off = 0.0;
+    for (std::uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      if (col_idx[k] == r) {
+        diag = std::fabs(values[k]);
+      } else {
+        off += std::fabs(values[k]);
+      }
+    }
+    if (diag < off) return false;
+    if (diag > off) strict = true;
+  }
+  if (any_strict != nullptr) *any_strict = strict;
+  return true;
+}
+
+BlockJacobiSplitting make_block_jacobi_splitting(const CsrMatrix& a,
+                                                 const std::vector<RowBlock>& blocks) {
+  JACEPP_ASSERT(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  CsrBuilder m_builder(n, n);
+  CsrBuilder n_builder(n, n);
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+  for (const RowBlock& blk : blocks) {
+    for (std::size_t r = blk.owned_lo; r < blk.owned_hi; ++r) {
+      for (std::uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        const std::uint32_t c = col_idx[k];
+        if (c >= blk.owned_lo && c < blk.owned_hi) {
+          m_builder.add(r, c, values[k]);
+        } else {
+          // N = M - A: off-block entries of A appear negated in N.
+          n_builder.add(r, c, -values[k]);
+        }
+      }
+    }
+  }
+  return BlockJacobiSplitting{m_builder.build(), n_builder.build()};
+}
+
+namespace {
+
+/// Solve M y = rhs where M is block diagonal (blocks from `blocks`); each
+/// diagonal block is SPD for the matrices jacepp builds.
+void solve_block_diagonal(const CsrMatrix& m, const std::vector<RowBlock>& blocks,
+                          const Vector& rhs, Vector& y) {
+  y.assign(rhs.size(), 0.0);
+  for (const RowBlock& blk : blocks) {
+    const CsrMatrix sub =
+        m.block(blk.owned_lo, blk.owned_hi, blk.owned_lo, blk.owned_hi);
+    Vector local_rhs(rhs.begin() + static_cast<std::ptrdiff_t>(blk.owned_lo),
+                     rhs.begin() + static_cast<std::ptrdiff_t>(blk.owned_hi));
+    Vector local_y;
+    CgOptions options;
+    options.tolerance = 1e-12;
+    options.max_iterations = 4 * blk.owned_size();
+    conjugate_gradient(sub, local_rhs, local_y, options);
+    for (std::size_t i = 0; i < local_y.size(); ++i) y[blk.owned_lo + i] = local_y[i];
+  }
+}
+
+}  // namespace
+
+double estimate_async_spectral_radius(const CsrMatrix& a,
+                                      const std::vector<RowBlock>& blocks,
+                                      std::size_t power_iterations, Rng& rng) {
+  const auto splitting = make_block_jacobi_splitting(a, blocks);
+  const std::size_t n = a.rows();
+
+  // |N|: absolute values of N's entries.
+  CsrMatrix n_abs = [&] {
+    CsrBuilder builder(n, n);
+    const auto& row_ptr = splitting.n.row_ptr();
+    const auto& col_idx = splitting.n.col_idx();
+    const auto& values = splitting.n.values();
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        builder.add(r, col_idx[k], std::fabs(values[k]));
+      }
+    }
+    return builder.build();
+  }();
+
+  Vector x(n);
+  for (double& v : x) v = rng.uniform(0.5, 1.0);  // positive start vector
+  double lambda = 0.0;
+  Vector nx(n), y;
+  for (std::size_t it = 0; it < power_iterations; ++it) {
+    n_abs.multiply(x, nx);
+    solve_block_diagonal(splitting.m, blocks, nx, y);
+    for (double& v : y) v = std::fabs(v);
+    const double norm = norm2(y);
+    if (norm == 0.0) return 0.0;
+    lambda = norm;  // x is normalized each step, so ||map(x)|| estimates rho
+    for (std::size_t i = 0; i < n; ++i) x[i] = y[i] / norm;
+  }
+  return lambda;
+}
+
+double power_iteration_spectral_radius(const CsrMatrix& b, std::size_t iterations,
+                                       Rng& rng) {
+  JACEPP_ASSERT(b.rows() == b.cols());
+  const std::size_t n = b.rows();
+  Vector x(n);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  double norm = norm2(x);
+  JACEPP_ASSERT(norm > 0.0);
+  for (double& v : x) v /= norm;
+
+  Vector y(n);
+  double lambda = 0.0;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    b.multiply(x, y);
+    norm = norm2(y);
+    if (norm == 0.0) return 0.0;
+    lambda = norm;
+    for (std::size_t i = 0; i < n; ++i) x[i] = y[i] / norm;
+  }
+  return lambda;
+}
+
+}  // namespace jacepp::linalg

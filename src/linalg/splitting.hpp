@@ -1,0 +1,59 @@
+// Asynchronous-convergence theory helpers (paper §1):
+//   "scientific applications … lead to linear systems Ax = b where A is an
+//    M-matrix … a convergent weak regular splitting can be derived from any
+//    M-matrix and any iterative algorithm based on this multisplitting
+//    converges asynchronously."
+//
+// These routines let tests and the library itself check the hypotheses: that A
+// is (structurally) an M-matrix candidate, that a given block-Jacobi splitting
+// A = M - N is weak regular, and that the spectral radius of |M⁻¹N| is < 1
+// (estimated by power iteration), which is the paper's §6 sufficient condition
+// for asynchronous convergence of block-Jacobi.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/csr.hpp"
+#include "linalg/partition.hpp"
+#include "support/rng.hpp"
+
+namespace jacepp::linalg {
+
+/// Sign-pattern test: A_ii > 0 and A_ij <= 0 for i != j. This is the checkable
+/// part of the M-matrix definition (nonsingularity with A⁻¹ >= 0 is certified
+/// separately via diagonal dominance or spectral radius).
+bool has_m_matrix_sign_pattern(const CsrMatrix& a);
+
+/// Strict or irreducible diagonal dominance test: |A_ii| >= sum_{j!=i} |A_ij|
+/// for all i, with strict inequality in at least one row. Together with the
+/// M-matrix sign pattern this certifies a nonsingular M-matrix for the
+/// matrices jacepp builds (irreducible 5-point Laplacians).
+bool is_weakly_diagonally_dominant(const CsrMatrix& a, bool* any_strict = nullptr);
+
+/// Block-Jacobi splitting A = M - N where M is the block diagonal induced by
+/// `blocks` (owned ranges) and N = M - A.
+struct BlockJacobiSplitting {
+  CsrMatrix m;  ///< block-diagonal part
+  CsrMatrix n;  ///< M - A (off-block part, negated)
+};
+
+BlockJacobiSplitting make_block_jacobi_splitting(const CsrMatrix& a,
+                                                 const std::vector<RowBlock>& blocks);
+
+/// Estimate the spectral radius of the (linear) iteration map
+///   x -> |M⁻¹ N| x
+/// by power iteration on nonnegative vectors. Each application solves the
+/// block-diagonal system M y = |N| x with CG per block and takes absolute
+/// values, which upper-bounds the asynchronous iteration operator of the
+/// paper's §6 condition (rho(|T|) < 1).
+double estimate_async_spectral_radius(const CsrMatrix& a,
+                                      const std::vector<RowBlock>& blocks,
+                                      std::size_t power_iterations, Rng& rng);
+
+/// Estimate rho(B) for a general matrix via power iteration (absolute value of
+/// the dominant eigenvalue). Used in tests on small matrices.
+double power_iteration_spectral_radius(const CsrMatrix& b, std::size_t iterations,
+                                       Rng& rng);
+
+}  // namespace jacepp::linalg

@@ -1,0 +1,71 @@
+#include "linalg/vector_ops.hpp"
+
+#include <cmath>
+
+#include "support/assert.hpp"
+
+namespace jacepp::linalg {
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  JACEPP_ASSERT(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void axpby(double alpha, const Vector& x, double beta, Vector& y) {
+  JACEPP_ASSERT(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] = alpha * x[i] + beta * y[i];
+}
+
+double dot(const Vector& x, const Vector& y) {
+  JACEPP_ASSERT(x.size() == y.size());
+  double acc = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+double norm2(const Vector& x) { return std::sqrt(dot(x, x)); }
+
+double norm_inf(const Vector& x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double distance2(const Vector& x, const Vector& y) {
+  JACEPP_ASSERT(x.size() == y.size());
+  double acc = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double distance_inf(const Vector& x, const Vector& y) {
+  JACEPP_ASSERT(x.size() == y.size());
+  double m = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::fabs(x[i] - y[i]));
+  return m;
+}
+
+void scale(Vector& x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+void fill(Vector& x, double value) {
+  for (double& v : x) v = value;
+}
+
+void residual(const Vector& b, const Vector& ax, Vector& r) {
+  JACEPP_ASSERT(b.size() == ax.size());
+  r.resize(b.size());
+  const std::size_t n = b.size();
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ax[i];
+}
+
+}  // namespace jacepp::linalg

@@ -1,0 +1,42 @@
+// Dense vector kernels. Vectors are plain std::vector<double>; these free
+// functions provide the BLAS-1 level operations the solvers need.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace jacepp::linalg {
+
+using Vector = std::vector<double>;
+
+/// y += alpha * x  (sizes must match).
+void axpy(double alpha, const Vector& x, Vector& y);
+
+/// y = alpha * x + beta * y.
+void axpby(double alpha, const Vector& x, double beta, Vector& y);
+
+/// Dot product <x, y>.
+double dot(const Vector& x, const Vector& y);
+
+/// Euclidean norm.
+double norm2(const Vector& x);
+
+/// Max-norm.
+double norm_inf(const Vector& x);
+
+/// ||x - y||_2 (sizes must match).
+double distance2(const Vector& x, const Vector& y);
+
+/// ||x - y||_inf.
+double distance_inf(const Vector& x, const Vector& y);
+
+/// x *= alpha.
+void scale(Vector& x, double alpha);
+
+/// x = value everywhere.
+void fill(Vector& x, double value);
+
+/// r = b - (matvec result), computed by caller; helper: r = b - ax.
+void residual(const Vector& b, const Vector& ax, Vector& r);
+
+}  // namespace jacepp::linalg

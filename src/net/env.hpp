@@ -1,0 +1,79 @@
+// Execution-environment abstraction.
+//
+// JaceP2P entities (Daemon / Super-Peer / Spawner) are written as Actors:
+// protocol state machines that react to messages and timers and never touch
+// threads, sockets or clocks directly. All side effects go through Env. Two
+// environments implement this interface:
+//
+//   * sim::SimWorld   — discrete-event simulation: virtual clock, modelled
+//     message latency/bandwidth, modelled compute cost, deterministic.
+//   * rt::ThreadRuntime — one thread + mailbox per entity, real clocks and
+//     real elapsed time.
+//
+// Because entities only see Env, the exact same core:: code produces both the
+// reproducible large-scale experiments and a genuinely concurrent runtime.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/message.hpp"
+#include "net/stub.hpp"
+#include "support/rng.hpp"
+
+namespace jacepp::net {
+
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Current time in seconds (virtual in simulation, monotonic-real in rt).
+  [[nodiscard]] virtual double now() const = 0;
+
+  /// This entity's own stub.
+  [[nodiscard]] virtual Stub self() const = 0;
+
+  /// Fire-and-forget message send (the RMI oneway-invoke analogue). Delivery
+  /// is not guaranteed: messages to failed or stale-incarnation stubs are
+  /// silently lost, per the paper's loss-tolerant asynchronous model.
+  virtual void send(const Stub& to, Message m) = 0;
+
+  /// Run `fn` after `delay` seconds. Returns a cancellable timer id.
+  virtual TimerId schedule(double delay, std::function<void()> fn) = 0;
+
+  /// Cancel a pending timer (no-op if already fired or invalid).
+  virtual void cancel(TimerId timer) = 0;
+
+  /// Execute a unit of computation. `work` runs the real numerics and returns
+  /// its cost in flops; `done` is invoked when the (modelled or real) compute
+  /// time has elapsed. Communication handled meanwhile is NOT blocked — this
+  /// models the paper's multi-threaded overlap of communication with
+  /// computation — but compute units on one node are serialized.
+  virtual void compute(std::function<double()> work, std::function<void()> done) = 0;
+
+  /// Deterministic per-entity random stream.
+  virtual Rng& rng() = 0;
+
+  /// Request graceful termination of this entity (e.g. after global halt).
+  virtual void shutdown_self() = 0;
+};
+
+/// A protocol state machine bound to an Env by the runtime.
+class Actor {
+ public:
+  virtual ~Actor() = default;
+
+  /// Called once when the entity comes alive.
+  virtual void on_start(Env& env) = 0;
+
+  /// Called for every delivered message.
+  virtual void on_message(const Message& message, Env& env) = 0;
+
+  /// Called on graceful shutdown (never on crash — crashes are silent).
+  virtual void on_stop(Env& /*env*/) {}
+};
+
+}  // namespace jacepp::net

@@ -1,0 +1,42 @@
+// Message envelope: a type tag plus a serialized body, with the sender's stub.
+// This is the unit both transports (simulated and threaded) deliver.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "net/stub.hpp"
+#include "serial/serial.hpp"
+
+namespace jacepp::net {
+
+using MessageType = std::uint32_t;
+
+struct Message {
+  MessageType type = 0;
+  Stub from;                ///< sender stub (filled by the sending Env)
+  serial::Bytes body;       ///< serialized payload
+
+  /// Size in bytes on the wire, used by the simulator's bandwidth model.
+  /// Envelope overhead approximates a small RMI/TCP header.
+  [[nodiscard]] std::size_t wire_size() const { return body.size() + 48; }
+};
+
+/// Build a message from a typed payload: T must expose
+/// `static constexpr MessageType kType` and `serialize(Writer&)`.
+template <typename T>
+Message make_message(const T& payload) {
+  Message m;
+  m.type = T::kType;
+  m.body = serial::encode(payload);
+  return m;
+}
+
+/// Decode a message body as T. Aborts on malformed body (internal traffic).
+template <typename T>
+T payload_of(const Message& m) {
+  JACEPP_CHECK(m.type == T::kType, "payload_of: message type mismatch");
+  return serial::decode<T>(m.body);
+}
+
+}  // namespace jacepp::net

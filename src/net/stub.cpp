@@ -1,0 +1,20 @@
+#include "net/stub.hpp"
+
+namespace jacepp::net {
+
+const char* to_string(EntityKind kind) {
+  switch (kind) {
+    case EntityKind::Unknown: return "unknown";
+    case EntityKind::Daemon: return "daemon";
+    case EntityKind::SuperPeer: return "super-peer";
+    case EntityKind::Spawner: return "spawner";
+  }
+  return "?";
+}
+
+std::string Stub::to_debug_string() const {
+  return std::string(to_string(kind)) + "#" + std::to_string(node) + "@" +
+         std::to_string(incarnation);
+}
+
+}  // namespace jacepp::net

@@ -1,0 +1,81 @@
+// Node identity and the "RMI stub" analogue.
+//
+// In the paper, after bootstrap every entity is addressed by its Java RMI stub
+// — a serializable remote reference that carries location data without login
+// information. jacepp's Stub carries the same information content: a transport
+// address (NodeId) plus an incarnation counter. A daemon that disconnects and
+// later rejoins comes back with a higher incarnation; messages addressed to a
+// stale incarnation are silently dropped, which is exactly the paper's
+// message-loss-tolerant semantics for failed peers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "serial/serial.hpp"
+
+namespace jacepp::net {
+
+using NodeId = std::uint64_t;
+using Incarnation = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0;
+
+/// Role of an entity — carried in stubs for diagnostics and registration.
+enum class EntityKind : std::uint8_t {
+  Unknown = 0,
+  Daemon = 1,
+  SuperPeer = 2,
+  Spawner = 3,
+};
+
+const char* to_string(EntityKind kind);
+
+struct Stub {
+  NodeId node = kInvalidNode;
+  Incarnation incarnation = 0;
+  EntityKind kind = EntityKind::Unknown;
+
+  [[nodiscard]] bool valid() const { return node != kInvalidNode; }
+
+  /// Address-only form (incarnation 0): matches any live incarnation at the
+  /// node, like an IP address that survives the peer restarting. Used only
+  /// for bootstrapping, per the paper.
+  [[nodiscard]] Stub address() const { return Stub{node, 0, kind}; }
+
+  friend bool operator==(const Stub& a, const Stub& b) {
+    return a.node == b.node && a.incarnation == b.incarnation;
+  }
+  friend bool operator!=(const Stub& a, const Stub& b) { return !(a == b); }
+
+  /// Ordering for use as a map key (kind is identity-irrelevant).
+  friend bool operator<(const Stub& a, const Stub& b) {
+    return a.node != b.node ? a.node < b.node : a.incarnation < b.incarnation;
+  }
+
+  void serialize(serial::Writer& w) const {
+    w.u64(node);
+    w.u32(incarnation);
+    w.u8(static_cast<std::uint8_t>(kind));
+  }
+
+  static Stub deserialize(serial::Reader& r) {
+    Stub s;
+    s.node = r.u64();
+    s.incarnation = r.u32();
+    s.kind = static_cast<EntityKind>(r.u8());
+    return s;
+  }
+
+  [[nodiscard]] std::string to_debug_string() const;
+};
+
+}  // namespace jacepp::net
+
+template <>
+struct std::hash<jacepp::net::Stub> {
+  std::size_t operator()(const jacepp::net::Stub& s) const noexcept {
+    return std::hash<std::uint64_t>()(s.node * 0x9e3779b97f4a7c15ULL ^ s.incarnation);
+  }
+};

@@ -1,0 +1,154 @@
+// The paper's application (§6): block-Jacobi multisplitting of the 2-D
+// Poisson system with an inner sparse Conjugate Gradient, written against the
+// jacepp Task API and registered under the program name "poisson".
+//
+// Decomposition: contiguous row blocks, block sizes multiples of n (one grid
+// line), optionally extended by `overlap_lines` lines on each side. Per outer
+// iteration each task exchanges exactly n components with its predecessor and
+// successor — one grid line each, constant in the overlap, as the paper
+// prescribes ("whatever the size of the overlapped components, the exchanged
+// data are constant").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/task.hpp"
+#include "linalg/cg.hpp"
+#include "linalg/csr.hpp"
+#include "linalg/partition.hpp"
+
+namespace jacepp::poisson {
+
+/// Program arguments carried in AppDescriptor::config.
+struct PoissonConfig {
+  std::uint32_t n = 0;                ///< grid side; system size n²
+  std::uint32_t overlap_lines = 0;    ///< overlap per side, in grid lines
+  double inner_tolerance = 1e-6;      ///< inner CG relative tolerance
+  std::uint32_t inner_max_iterations = 400;
+  /// Right-hand side: 0 = f = 2π² sin(πx) sin(πy); 1 = manufactured discrete
+  /// solution drawn from rhs_seed (b = A x*), for machine-precision checks.
+  std::uint32_t rhs_kind = 0;
+  std::uint64_t rhs_seed = 0;
+  /// Multiplier applied to reported flops: lets the simulator emulate
+  /// paper-scale per-iteration cost while computing a tractable grid.
+  double work_scale = 1.0;
+
+  void serialize(serial::Writer& w) const {
+    w.u32(n);
+    w.u32(overlap_lines);
+    w.f64(inner_tolerance);
+    w.u32(inner_max_iterations);
+    w.u32(rhs_kind);
+    w.u64(rhs_seed);
+    w.f64(work_scale);
+  }
+  static PoissonConfig deserialize(serial::Reader& r) {
+    PoissonConfig c;
+    c.n = r.u32();
+    c.overlap_lines = r.u32();
+    c.inner_tolerance = r.f64();
+    c.inner_max_iterations = r.u32();
+    c.rhs_kind = r.u32();
+    c.rhs_seed = r.u64();
+    c.work_scale = r.f64();
+    return c;
+  }
+};
+
+/// Assemble rows [row_lo, row_hi) of the n-grid Laplacian over the SAME
+/// column window, in local indices; couplings to columns outside the window
+/// (the two boundary grid lines) are excluded — they enter through the rhs.
+linalg::CsrMatrix assemble_local_laplacian(std::size_t n, std::size_t row_lo,
+                                           std::size_t row_hi);
+
+/// The registered task program. Name: "poisson".
+class PoissonTask : public core::Task {
+ public:
+  static constexpr const char* kProgramName = "poisson";
+
+  void init(const core::AppDescriptor& app, core::TaskId task_id) override;
+  double iterate() override;
+  std::vector<core::OutgoingData> outgoing() override;
+  [[nodiscard]] double local_error() const override { return local_error_; }
+  [[nodiscard]] bool error_is_informative() const override {
+    return last_iteration_informative_;
+  }
+  void on_data(core::TaskId from_task, std::uint64_t iteration,
+               const serial::Bytes& payload) override;
+  [[nodiscard]] serial::Bytes checkpoint() const override;
+  void restore(const serial::Bytes& state) override;
+  [[nodiscard]] serial::Bytes final_payload() const override;
+  [[nodiscard]] std::uint64_t informative_iterations() const override {
+    return iterations_with_fresh_data_;
+  }
+
+  // --- Introspection / testing ---
+  [[nodiscard]] const PoissonConfig& config() const { return config_; }
+  [[nodiscard]] const linalg::RowBlock& block() const { return block_; }
+  [[nodiscard]] const linalg::Vector& x_ext() const { return x_ext_; }
+  [[nodiscard]] std::uint64_t iterations_done() const { return iterations_done_; }
+  [[nodiscard]] double total_flops() const { return total_flops_; }
+  [[nodiscard]] std::uint64_t stale_free_iterations() const {
+    return iterations_with_fresh_data_;
+  }
+
+  /// Owned slice of the current iterate (the task's published components).
+  [[nodiscard]] linalg::Vector owned_slice() const;
+
+  /// Bytes exchanged with each neighbour per iteration (n doubles + framing).
+  [[nodiscard]] std::size_t boundary_payload_bytes() const;
+
+ private:
+  void build_rhs(linalg::Vector& rhs) const;
+
+  PoissonConfig config_;
+  core::TaskId task_id_ = 0;
+  std::uint32_t task_count_ = 0;
+  std::vector<linalg::RowBlock> blocks_;
+  linalg::RowBlock block_;
+
+  linalg::CsrMatrix a_local_;
+  linalg::Vector b_ext_;
+  linalg::Vector x_ext_;
+  linalg::Vector owned_prev_;
+
+  // Latest boundary lines received (last-received-wins; see DESIGN.md).
+  linalg::Vector lower_boundary_;  ///< grid line just below ext_lo
+  linalg::Vector upper_boundary_;  ///< grid line just above ext_hi
+  std::uint64_t lower_tag_ = 0;
+  std::uint64_t upper_tag_ = 0;
+  bool lower_fresh_ = false;
+  bool upper_fresh_ = false;
+
+  double inv_h2_ = 0.0;
+  double local_error_ = 1.0;
+  bool last_iteration_informative_ = false;
+  bool last_solve_converged_ = false;
+  double last_solve_flops_ = 0.0;
+  std::uint64_t last_send_iteration_ = 0;
+  bool sent_since_last_solve_ = false;
+  std::uint64_t iterations_done_ = 0;
+  std::uint64_t iterations_with_fresh_data_ = 0;
+  double total_flops_ = 0.0;
+};
+
+/// Reassemble the global solution from per-task FinalState payloads.
+linalg::Vector assemble_solution(std::size_t n, std::uint32_t task_count,
+                                 const std::vector<serial::Bytes>& payloads,
+                                 std::size_t overlap_lines = 0);
+
+/// Relative residual ||b - A x|| / ||b|| for a Poisson instance config.
+double poisson_relative_residual(const PoissonConfig& config,
+                                 const linalg::Vector& x);
+
+/// Build the AppDescriptor::config bytes and full rhs/matrix helpers.
+serial::Bytes encode_config(const PoissonConfig& config);
+
+/// The global right-hand side a PoissonConfig describes (for verification).
+linalg::Vector global_rhs(const PoissonConfig& config);
+
+/// Ensure this translation unit's program registration is linked in.
+void force_registration();
+
+}  // namespace jacepp::poisson

@@ -1,0 +1,68 @@
+// Typed remote-invocation layer — jacepp's analogue of the paper's Java RMI
+// usage. A "remote method" is a serializable payload struct with a unique
+// `kType`; invoking it on a Stub is a oneway, loss-tolerant message send, and
+// the receiving entity dispatches on the type tag to a registered handler.
+//
+//   struct Heartbeat { static constexpr net::MessageType kType = ...; ... };
+//
+//   Dispatcher d;
+//   d.on<Heartbeat>([](const Heartbeat& hb, const net::Message& m, net::Env& env) {
+//     ...
+//   });
+//   ...
+//   rmi::invoke(env, super_peer_stub, Heartbeat{...});
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "net/env.hpp"
+#include "net/message.hpp"
+#include "support/assert.hpp"
+#include "support/logging.hpp"
+
+namespace jacepp::rmi {
+
+/// Send a typed payload to a stub (fire-and-forget; may be lost).
+template <typename T>
+void invoke(net::Env& env, const net::Stub& to, const T& payload) {
+  env.send(to, net::make_message(payload));
+}
+
+/// Per-entity message dispatch table keyed by message type tag.
+class Dispatcher {
+ public:
+  /// Register a handler for payload type T:
+  ///   void handler(const T& payload, const net::Message& raw, net::Env& env)
+  template <typename T, typename Fn>
+  void on(Fn handler) {
+    const auto [it, inserted] = handlers_.emplace(
+        T::kType,
+        [handler = std::move(handler)](const net::Message& m, net::Env& env) {
+          handler(net::payload_of<T>(m), m, env);
+        });
+    (void)it;
+    JACEPP_CHECK(inserted, "Dispatcher: duplicate handler for message type");
+  }
+
+  /// Dispatch a message; returns false (and logs) when no handler matches.
+  bool dispatch(const net::Message& message, net::Env& env) const {
+    const auto it = handlers_.find(message.type);
+    if (it == handlers_.end()) {
+      JACEPP_LOG(Warn, "rmi", "unhandled message type %u from %s", message.type,
+                 message.from.to_debug_string().c_str());
+      return false;
+    }
+    it->second(message, env);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t handler_count() const { return handlers_.size(); }
+
+ private:
+  std::unordered_map<net::MessageType,
+                     std::function<void(const net::Message&, net::Env&)>>
+      handlers_;
+};
+
+}  // namespace jacepp::rmi

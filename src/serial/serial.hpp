@@ -1,0 +1,298 @@
+// Portable binary serialization: the jacepp "wire format".
+//
+// Every protocol message body and every Task checkpoint (Backup) is encoded
+// through Writer/Reader, in both the simulator and the threaded runtime, so the
+// exact code path a socket deployment would use is always exercised.
+//
+// Encoding rules:
+//   * fixed-width integers little-endian;
+//   * unsigned varint (LEB128) for lengths and u64 varints;
+//   * doubles as IEEE-754 bit patterns;
+//   * containers as varint length + elements;
+//   * user structs provide `void serialize(Writer&) const` and
+//     `static T deserialize(Reader&)`.
+//
+// Reader never reads out of bounds: all failures surface via ok()/error() and
+// reads after failure return zero values (monadic poisoning), so decoding
+// malformed input is always safe.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace jacepp::serial {
+
+using Bytes = std::vector<std::uint8_t>;
+
+class Writer {
+ public:
+  Writer() = default;
+
+  void u8(std::uint8_t v) { buffer_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    buffer_.push_back(static_cast<std::uint8_t>(v));
+    buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  /// Unsigned LEB128 varint.
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buffer_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buffer_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void str(const std::string& s) {
+    varint(s.size());
+    buffer_.insert(buffer_.end(), s.begin(), s.end());
+  }
+
+  void bytes(const Bytes& b) {
+    varint(b.size());
+    buffer_.insert(buffer_.end(), b.begin(), b.end());
+  }
+
+  /// Vector of doubles: varint length + raw IEEE-754 payload.
+  void f64_vector(const std::vector<double>& v) {
+    varint(v.size());
+    const std::size_t old = buffer_.size();
+    buffer_.resize(old + v.size() * sizeof(double));
+    std::memcpy(buffer_.data() + old, v.data(), v.size() * sizeof(double));
+  }
+
+  void u32_vector(const std::vector<std::uint32_t>& v) {
+    varint(v.size());
+    for (auto x : v) u32(x);
+  }
+
+  void u64_vector(const std::vector<std::uint64_t>& v) {
+    varint(v.size());
+    for (auto x : v) u64(x);
+  }
+
+  /// Serialize any struct exposing serialize(Writer&).
+  template <typename T>
+  void object(const T& value) {
+    value.serialize(*this);
+  }
+
+  template <typename T>
+  void object_vector(const std::vector<T>& values) {
+    varint(values.size());
+    for (const auto& v : values) v.serialize(*this);
+  }
+
+  [[nodiscard]] const Bytes& data() const { return buffer_; }
+  [[nodiscard]] Bytes take() { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const Bytes& data) : data_(data.data()), size_(data.size()) {}
+  Reader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t remaining() const { return size_ - pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == size_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+
+  std::uint8_t u8() {
+    if (!require(1)) return 0;
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    if (!require(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(data_[pos_]) |
+                      static_cast<std::uint16_t>(data_[pos_ + 1]) << 8;
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    if (!require(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!require(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  bool boolean() {
+    std::uint8_t v = u8();
+    if (ok_ && v > 1) poison("invalid boolean byte");
+    return v == 1;
+  }
+
+  double f64() {
+    std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (!require(1)) return 0;
+      std::uint8_t byte = data_[pos_++];
+      if (shift == 63 && (byte & 0x7e) != 0) {
+        poison("varint overflow");
+        return 0;
+      }
+      v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) break;
+      shift += 7;
+      if (shift > 63) {
+        poison("varint too long");
+        return 0;
+      }
+    }
+    return v;
+  }
+
+  std::string str() {
+    std::uint64_t len = varint();
+    if (!ok_ || !require(len)) return {};
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  Bytes bytes() {
+    std::uint64_t len = varint();
+    if (!ok_ || !require(len)) return {};
+    Bytes b(data_ + pos_, data_ + pos_ + len);
+    pos_ += len;
+    return b;
+  }
+
+  std::vector<double> f64_vector() {
+    std::uint64_t len = varint();
+    if (!ok_ || !require(len * sizeof(double))) return {};
+    std::vector<double> v(len);
+    std::memcpy(v.data(), data_ + pos_, len * sizeof(double));
+    pos_ += len * sizeof(double);
+    return v;
+  }
+
+  std::vector<std::uint32_t> u32_vector() {
+    std::uint64_t len = varint();
+    if (!ok_ || !require(len * 4)) return {};
+    std::vector<std::uint32_t> v;
+    v.reserve(len);
+    for (std::uint64_t i = 0; i < len; ++i) v.push_back(u32());
+    return v;
+  }
+
+  std::vector<std::uint64_t> u64_vector() {
+    std::uint64_t len = varint();
+    if (!ok_ || !require(len * 8)) return {};
+    std::vector<std::uint64_t> v;
+    v.reserve(len);
+    for (std::uint64_t i = 0; i < len; ++i) v.push_back(u64());
+    return v;
+  }
+
+  template <typename T>
+  T object() {
+    return T::deserialize(*this);
+  }
+
+  template <typename T>
+  std::vector<T> object_vector() {
+    std::uint64_t len = varint();
+    // Sanity cap: an element takes at least one byte, so a valid count can
+    // never exceed the remaining payload.
+    if (!ok_ || len > remaining()) {
+      if (ok_) poison("object_vector length exceeds payload");
+      return {};
+    }
+    std::vector<T> v;
+    v.reserve(len);
+    for (std::uint64_t i = 0; i < len && ok_; ++i) v.push_back(T::deserialize(*this));
+    return v;
+  }
+
+ private:
+  bool require(std::uint64_t n) {
+    if (!ok_) return false;
+    if (remaining() < n) {
+      poison("read past end of buffer");
+      return false;
+    }
+    return true;
+  }
+
+  void poison(const char* why) {
+    ok_ = false;
+    error_ = why;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+  std::string error_;
+};
+
+/// Encode a serializable object into a fresh byte buffer.
+template <typename T>
+Bytes encode(const T& value) {
+  Writer writer;
+  value.serialize(writer);
+  return writer.take();
+}
+
+/// Decode a serializable object; aborts on malformed input (internal use:
+/// payloads produced by encode()). For untrusted input use Reader directly.
+template <typename T>
+T decode(const Bytes& data) {
+  Reader reader(data);
+  T value = T::deserialize(reader);
+  JACEPP_CHECK(reader.ok(), "decode: malformed payload");
+  return value;
+}
+
+}  // namespace jacepp::serial

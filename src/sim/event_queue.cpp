@@ -1,0 +1,44 @@
+#include "sim/event_queue.hpp"
+
+#include "support/assert.hpp"
+
+namespace jacepp::sim {
+
+EventId EventQueue::schedule(double when, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, id, std::move(fn)});
+  return id;
+}
+
+void EventQueue::cancel(EventId id) { cancelled_.insert(id); }
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+double EventQueue::next_time() {
+  drop_cancelled();
+  JACEPP_CHECK(!heap_.empty(), "next_time on empty EventQueue");
+  return heap_.top().time;
+}
+
+std::function<void()> EventQueue::pop(double* now) {
+  drop_cancelled();
+  JACEPP_CHECK(!heap_.empty(), "pop on empty EventQueue");
+  Entry top = heap_.top();
+  heap_.pop();
+  if (now != nullptr) *now = top.time;
+  return std::move(top.fn);
+}
+
+}  // namespace jacepp::sim

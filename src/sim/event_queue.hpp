@@ -1,0 +1,59 @@
+// Discrete-event queue: a stable min-heap of timestamped closures with O(1)
+// cancellation flags. Ties in time break by insertion order, which makes the
+// whole simulation deterministic for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace jacepp::sim {
+
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `when` (seconds). Returns a cancellable id.
+  EventId schedule(double when, std::function<void()> fn);
+
+  /// Mark an event cancelled; it will be skipped when popped.
+  void cancel(EventId id);
+
+  /// True when no live events remain.
+  [[nodiscard]] bool empty();
+
+  /// Time of the next live event. Requires !empty().
+  [[nodiscard]] double next_time();
+
+  /// Pop and return the next live event's closure, advancing `now` to its
+  /// time. Requires !empty().
+  std::function<void()> pop(double* now);
+
+  [[nodiscard]] std::size_t scheduled_count() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    double time;
+    EventId id;
+    std::function<void()> fn;
+  };
+
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      // std::priority_queue is a max-heap; invert for earliest-first, with
+      // insertion id as the deterministic tiebreaker.
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace jacepp::sim

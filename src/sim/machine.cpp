@@ -1,0 +1,22 @@
+#include "sim/machine.hpp"
+
+namespace jacepp::sim {
+
+std::vector<MachineSpec> FleetModel::draw(std::size_t count, Rng& rng) const {
+  std::vector<MachineSpec> specs;
+  specs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    MachineSpec spec;
+    spec.flops_per_sec = rng.uniform(min_flops, max_flops);
+    const bool fast = rng.chance(fast_network_fraction);
+    spec.bandwidth_bps = fast ? fast_bandwidth_bps : slow_bandwidth_bps;
+    spec.latency_s = latency_s * rng.uniform(1.0 - latency_jitter, 1.0 + latency_jitter);
+    // Slower CPUs marshal/unmarshal proportionally slower.
+    spec.message_overhead_s = message_overhead_s * (200e6 / spec.flops_per_sec);
+    spec.ram_bytes = rng.chance(0.5) ? 256e6 : 1024e6;
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+}  // namespace jacepp::sim

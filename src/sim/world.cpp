@@ -1,0 +1,236 @@
+#include "sim/world.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+#include "support/logging.hpp"
+
+namespace jacepp::sim {
+
+/// Per-node Env implementation; all side effects route back into the world.
+class SimWorld::NodeEnv : public net::Env {
+ public:
+  NodeEnv(SimWorld* world, net::NodeId id) : world_(world), id_(id) {}
+
+  [[nodiscard]] double now() const override { return world_->now_; }
+
+  [[nodiscard]] net::Stub self() const override {
+    return world_->node_ref(id_).stub;
+  }
+
+  void send(const net::Stub& to, net::Message message) override {
+    world_->send_from(id_, to, std::move(message));
+  }
+
+  net::TimerId schedule(double delay, std::function<void()> fn) override {
+    Node& node = world_->node_ref(id_);
+    return world_->schedule_guarded(id_, node.stub.incarnation,
+                                    world_->now_ + delay, std::move(fn));
+  }
+
+  void cancel(net::TimerId timer) override { world_->queue_.cancel(timer); }
+
+  void compute(std::function<double()> work, std::function<void()> done) override {
+    Node& node = world_->node_ref(id_);
+    // The real numerics run now (so the actor's state is already advanced);
+    // the *virtual* cost is charged to the machine, serializing with any
+    // compute still in flight on this node. Message handling proceeds in the
+    // meantime — the multi-threaded overlap of the paper.
+    const double flops = work();
+    JACEPP_ASSERT(flops >= 0.0);
+    double duration = flops / node.spec.flops_per_sec;
+    const double j = world_->config_.compute_jitter;
+    if (j > 0.0) duration *= node.rng.uniform(1.0 - j, 1.0 + j);
+    const double start = std::max(world_->now_, node.busy_until);
+    node.busy_until = start + duration;
+    world_->schedule_guarded(id_, node.stub.incarnation, node.busy_until,
+                             std::move(done));
+  }
+
+  Rng& rng() override { return world_->node_ref(id_).rng; }
+
+  void shutdown_self() override {
+    Node& node = world_->node_ref(id_);
+    if (!node.up) return;
+    node.up = false;
+    if (node.actor) node.actor->on_stop(*this);
+  }
+
+ private:
+  SimWorld* world_;
+  net::NodeId id_;
+};
+
+SimWorld::SimWorld(SimConfig config) : config_(config), rng_(config.seed) {}
+
+SimWorld::~SimWorld() = default;
+
+SimWorld::Node& SimWorld::node_ref(net::NodeId id) {
+  auto it = nodes_.find(id);
+  JACEPP_CHECK(it != nodes_.end(), "unknown node id");
+  return it->second;
+}
+
+const SimWorld::Node& SimWorld::node_ref(net::NodeId id) const {
+  auto it = nodes_.find(id);
+  JACEPP_CHECK(it != nodes_.end(), "unknown node id");
+  return it->second;
+}
+
+bool SimWorld::alive_at(net::NodeId id, net::Incarnation inc) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return false;
+  return it->second.up && it->second.stub.incarnation == inc;
+}
+
+net::Stub SimWorld::add_node(std::unique_ptr<net::Actor> actor,
+                             const MachineSpec& spec, net::EntityKind kind) {
+  const net::NodeId id = next_node_++;
+  Node node;
+  node.actor = std::move(actor);
+  node.env = std::make_unique<NodeEnv>(this, id);
+  node.spec = spec;
+  node.stub = net::Stub{id, 1, kind};
+  node.up = true;
+  node.rng = rng_.split(id);
+  auto [it, inserted] = nodes_.emplace(id, std::move(node));
+  JACEPP_ASSERT(inserted);
+  Node& ref = it->second;
+  schedule_guarded(id, ref.stub.incarnation, now_, [this, id] {
+    Node& n = node_ref(id);
+    n.actor->on_start(*n.env);
+  });
+  return ref.stub;
+}
+
+void SimWorld::disconnect(net::NodeId node_id) {
+  auto it = nodes_.find(node_id);
+  if (it == nodes_.end() || !it->second.up) return;
+  it->second.up = false;
+  JACEPP_LOG(Debug, "sim", "node %llu disconnected at %.3f",
+             static_cast<unsigned long long>(node_id), now_);
+}
+
+net::Stub SimWorld::revive(net::NodeId node_id, std::unique_ptr<net::Actor> actor) {
+  Node& node = node_ref(node_id);
+  JACEPP_CHECK(!node.up, "revive: node is still up");
+  node.actor = std::move(actor);
+  node.stub.incarnation += 1;
+  node.up = true;
+  node.busy_until = now_;
+  schedule_guarded(node_id, node.stub.incarnation, now_, [this, node_id] {
+    Node& n = node_ref(node_id);
+    n.actor->on_start(*n.env);
+  });
+  return node.stub;
+}
+
+bool SimWorld::is_up(net::NodeId node_id) const {
+  auto it = nodes_.find(node_id);
+  return it != nodes_.end() && it->second.up;
+}
+
+bool SimWorld::is_current(const net::Stub& stub) const {
+  auto it = nodes_.find(stub.node);
+  return it != nodes_.end() && it->second.up &&
+         it->second.stub.incarnation == stub.incarnation;
+}
+
+net::Actor* SimWorld::actor(net::NodeId node_id) {
+  auto it = nodes_.find(node_id);
+  if (it == nodes_.end()) return nullptr;
+  return it->second.actor.get();
+}
+
+const MachineSpec& SimWorld::spec_of(net::NodeId node_id) const {
+  return node_ref(node_id).spec;
+}
+
+std::size_t SimWorld::live_node_count() const {
+  std::size_t count = 0;
+  for (const auto& [id, node] : nodes_) {
+    if (node.up) ++count;
+  }
+  return count;
+}
+
+EventId SimWorld::schedule_guarded(net::NodeId id, net::Incarnation inc,
+                                   double when, std::function<void()> fn) {
+  return queue_.schedule(when, [this, id, inc, fn = std::move(fn)] {
+    if (alive_at(id, inc)) fn();
+  });
+}
+
+EventId SimWorld::schedule_global(double delay, std::function<void()> fn) {
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+double SimWorld::transfer_delay(const Node& from, const Node& to,
+                                std::size_t bytes) {
+  const double latency = from.spec.latency_s + to.spec.latency_s +
+                         from.spec.message_overhead_s + to.spec.message_overhead_s;
+  const double bandwidth = std::min(from.spec.bandwidth_bps, to.spec.bandwidth_bps);
+  double delay = latency + static_cast<double>(bytes) * 8.0 / bandwidth;
+  const double j = config_.message_jitter;
+  if (j > 0.0) delay *= rng_.uniform(1.0 - j, 1.0 + j);
+  return delay;
+}
+
+void SimWorld::send_from(net::NodeId from_id, const net::Stub& to,
+                         net::Message message) {
+  Node& from = node_ref(from_id);
+  if (!from.up) return;  // a crashed sender emits nothing
+  message.from = from.stub;
+
+  ++stats_.sent;
+  stats_.bytes_sent += message.wire_size();
+  ++stats_.sent_by_type[message.type];
+
+  auto dest_it = nodes_.find(to.node);
+  if (dest_it == nodes_.end() || !dest_it->second.up) {
+    ++stats_.lost_down;
+    return;
+  }
+  // Incarnation 0 is an "address stub" (the bootstrap IP-address analogue):
+  // it matches whatever incarnation currently lives at the node.
+  if (to.incarnation != 0 &&
+      dest_it->second.stub.incarnation != to.incarnation) {
+    ++stats_.lost_stale;
+    return;
+  }
+
+  const double delay = transfer_delay(from, dest_it->second, message.wire_size());
+  const net::NodeId dest_id = to.node;
+  const net::Incarnation dest_inc = dest_it->second.stub.incarnation;
+  // Deliver only if the destination is still the same live incarnation when
+  // the bits arrive; otherwise the message is lost in flight.
+  queue_.schedule(now_ + delay, [this, dest_id, dest_inc,
+                                 msg = std::move(message)]() mutable {
+    if (!alive_at(dest_id, dest_inc)) {
+      ++stats_.lost_down;
+      return;
+    }
+    ++stats_.delivered;
+    Node& dest = node_ref(dest_id);
+    dest.actor->on_message(msg, *dest.env);
+  });
+}
+
+void SimWorld::run() {
+  while (!stopped_ && !queue_.empty()) {
+    if (queue_.next_time() > config_.max_time) break;
+    auto fn = queue_.pop(&now_);
+    fn();
+  }
+}
+
+bool SimWorld::run_until(double t) {
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= t) {
+    auto fn = queue_.pop(&now_);
+    fn();
+  }
+  if (!stopped_ && now_ < t) now_ = t;
+  return stopped_;
+}
+
+}  // namespace jacepp::sim

@@ -1,0 +1,140 @@
+// SimWorld: the discrete-event P2P network simulator.
+//
+// Each entity (Actor) is attached to a simulated machine (MachineSpec). The
+// world models:
+//   * message latency + bandwidth (per the slower endpoint's NIC) with
+//     deterministic jitter;
+//   * crash-stop disconnections: messages to a down node are lost silently
+//     (the paper's loss-tolerant asynchronous semantics);
+//   * stale stubs: a revived node has a higher incarnation, and messages
+//     addressed to an old incarnation are dropped;
+//   * compute cost: real numerics execute inside `Env::compute`, and the
+//     returned flop count is charged against the machine's sustained speed;
+//     compute units on a node serialize while message handling continues
+//     (modelling JaceP2P's communication/computation overlap).
+//
+// Determinism: one seed drives every random draw, and simultaneous events fire
+// in insertion order, so a (seed, scenario) pair replays bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/env.hpp"
+#include "net/message.hpp"
+#include "net/stub.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/machine.hpp"
+#include "support/rng.hpp"
+
+namespace jacepp::sim {
+
+struct NetStats {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t lost_down = 0;    ///< destination node disconnected
+  std::uint64_t lost_stale = 0;   ///< destination incarnation outdated
+  std::uint64_t bytes_sent = 0;
+  std::unordered_map<net::MessageType, std::uint64_t> sent_by_type;
+
+  [[nodiscard]] std::uint64_t lost() const { return lost_down + lost_stale; }
+};
+
+struct SimConfig {
+  std::uint64_t seed = 42;
+  double max_time = 1e8;          ///< hard stop (simulated seconds)
+  double message_jitter = 0.05;   ///< fractional +/- jitter on transfer delay
+  double compute_jitter = 0.02;   ///< fractional +/- jitter on compute time
+};
+
+class SimWorld {
+ public:
+  explicit SimWorld(SimConfig config = {});
+  ~SimWorld();
+
+  SimWorld(const SimWorld&) = delete;
+  SimWorld& operator=(const SimWorld&) = delete;
+
+  /// Attach an actor to a fresh simulated machine; it is up immediately and
+  /// its on_start runs as a time-now event.
+  net::Stub add_node(std::unique_ptr<net::Actor> actor, const MachineSpec& spec,
+                     net::EntityKind kind);
+
+  /// Crash-stop: the node stops processing instantly and silently; pending
+  /// timers die; in-flight messages to it are lost.
+  void disconnect(net::NodeId node);
+
+  /// Bring a previously disconnected node back with a NEW actor and a bumped
+  /// incarnation (the paper's "reconnected about 20 seconds later" peers are
+  /// fresh daemons). Stubs of the old incarnation become stale.
+  net::Stub revive(net::NodeId node, std::unique_ptr<net::Actor> actor);
+
+  [[nodiscard]] bool is_up(net::NodeId node) const;
+  /// Up AND the stub's incarnation is current.
+  [[nodiscard]] bool is_current(const net::Stub& stub) const;
+
+  /// Direct access to a node's actor, for harness-side result extraction.
+  /// Returns nullptr for unknown/disconnected nodes.
+  [[nodiscard]] net::Actor* actor(net::NodeId node);
+
+  [[nodiscard]] const MachineSpec& spec_of(net::NodeId node) const;
+  [[nodiscard]] std::size_t live_node_count() const;
+
+  /// Run until stop is requested, the event queue drains, or max_time passes.
+  void run();
+  /// Run at most until absolute time `t`; returns true if stop was requested.
+  bool run_until(double t);
+  void request_stop() { stopped_ = true; }
+  /// Re-arm a stopped world so a harness can keep simulating past the point
+  /// where a completion callback requested the stop.
+  void clear_stop() { stopped_ = false; }
+  [[nodiscard]] bool stop_requested() const { return stopped_; }
+
+  [[nodiscard]] double now() const { return now_; }
+
+  /// Harness-level event not tied to any node's liveness.
+  EventId schedule_global(double delay, std::function<void()> fn);
+  void cancel_global(EventId id) { queue_.cancel(id); }
+
+  Rng& rng() { return rng_; }
+  NetStats& stats() { return stats_; }
+  const NetStats& stats() const { return stats_; }
+
+ private:
+  class NodeEnv;
+
+  struct Node {
+    std::unique_ptr<net::Actor> actor;
+    std::unique_ptr<NodeEnv> env;
+    MachineSpec spec;
+    net::Stub stub;
+    bool up = false;
+    double busy_until = 0.0;
+    Rng rng{0};
+  };
+
+  Node& node_ref(net::NodeId id);
+  const Node& node_ref(net::NodeId id) const;
+  [[nodiscard]] bool alive_at(net::NodeId id, net::Incarnation inc) const;
+
+  /// Schedule an event that only fires if (node, inc) is still the live
+  /// incarnation at fire time.
+  EventId schedule_guarded(net::NodeId id, net::Incarnation inc, double when,
+                           std::function<void()> fn);
+
+  void send_from(net::NodeId from, const net::Stub& to, net::Message message);
+  double transfer_delay(const Node& from, const Node& to, std::size_t bytes);
+
+  SimConfig config_;
+  Rng rng_;
+  EventQueue queue_;
+  double now_ = 0.0;
+  bool stopped_ = false;
+  net::NodeId next_node_ = 1;
+  std::unordered_map<net::NodeId, Node> nodes_;
+  NetStats stats_;
+};
+
+}  // namespace jacepp::sim

@@ -1,0 +1,34 @@
+// Lightweight assertion/check macros used throughout jacepp.
+//
+// JACEPP_ASSERT  — debug-style invariant check, always on (the library is a
+//                  research artifact; silent corruption is worse than an abort).
+// JACEPP_CHECK   — precondition check with a formatted message.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace jacepp::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "jacepp assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace jacepp::detail
+
+#define JACEPP_ASSERT(expr)                                                  \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::jacepp::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr);     \
+    }                                                                        \
+  } while (0)
+
+#define JACEPP_CHECK(expr, msg)                                              \
+  do {                                                                       \
+    if (!(expr)) {                                                           \
+      ::jacepp::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));       \
+    }                                                                        \
+  } while (0)

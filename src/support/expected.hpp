@@ -1,0 +1,100 @@
+// Minimal Expected<T, E>: a value-or-error result type (std::expected is C++23;
+// this project targets C++20). Only the operations jacepp needs are provided.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "support/assert.hpp"
+
+namespace jacepp {
+
+/// Error payload used by most fallible jacepp operations.
+struct Error {
+  std::string message;
+
+  static Error make(std::string msg) { return Error{std::move(msg)}; }
+};
+
+/// Tag type to construct an Expected holding an error.
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+Unexpected<E> make_unexpected(E e) {
+  return Unexpected<E>{std::move(e)};
+}
+
+inline Unexpected<Error> fail(std::string msg) {
+  return Unexpected<Error>{Error::make(std::move(msg))};
+}
+
+/// Value-or-error. Accessing the wrong alternative aborts (never UB).
+template <typename T, typename E = Error>
+class Expected {
+ public:
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> u) : storage_(std::in_place_index<1>, std::move(u.error)) {}
+
+  [[nodiscard]] bool has_value() const { return storage_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() & {
+    JACEPP_CHECK(has_value(), "Expected::value() on error state");
+    return std::get<0>(storage_);
+  }
+  const T& value() const& {
+    JACEPP_CHECK(has_value(), "Expected::value() on error state");
+    return std::get<0>(storage_);
+  }
+  T&& value() && {
+    JACEPP_CHECK(has_value(), "Expected::value() on error state");
+    return std::get<0>(std::move(storage_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  E& error() & {
+    JACEPP_CHECK(!has_value(), "Expected::error() on value state");
+    return std::get<1>(storage_);
+  }
+  const E& error() const& {
+    JACEPP_CHECK(!has_value(), "Expected::error() on value state");
+    return std::get<1>(storage_);
+  }
+
+  T value_or(T fallback) const& { return has_value() ? std::get<0>(storage_) : fallback; }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+/// Expected<void>: success flag or error.
+template <typename E>
+class Expected<void, E> {
+ public:
+  Expected() : ok_(true) {}
+  Expected(Unexpected<E> u) : ok_(false), error_(std::move(u.error)) {}
+
+  [[nodiscard]] bool has_value() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+
+  const E& error() const {
+    JACEPP_CHECK(!ok_, "Expected<void>::error() on value state");
+    return error_;
+  }
+
+ private:
+  bool ok_;
+  E error_{};
+};
+
+using Status = Expected<void, Error>;
+
+}  // namespace jacepp

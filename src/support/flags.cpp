@@ -1,0 +1,185 @@
+#include "support/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/assert.hpp"
+
+namespace jacepp {
+
+FlagSet::FlagSet(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+std::shared_ptr<std::int64_t> FlagSet::add_int(const std::string& name,
+                                               std::int64_t def,
+                                               const std::string& help) {
+  JACEPP_CHECK(find(name) == nullptr, "duplicate flag");
+  Flag flag;
+  flag.name = name;
+  flag.help = help;
+  flag.kind = Kind::Int;
+  flag.default_repr = std::to_string(def);
+  flag.int_value = std::make_shared<std::int64_t>(def);
+  flags_.push_back(flag);
+  return flags_.back().int_value;
+}
+
+std::shared_ptr<std::uint64_t> FlagSet::add_uint(const std::string& name,
+                                                 std::uint64_t def,
+                                                 const std::string& help) {
+  JACEPP_CHECK(find(name) == nullptr, "duplicate flag");
+  Flag flag;
+  flag.name = name;
+  flag.help = help;
+  flag.kind = Kind::Uint;
+  flag.default_repr = std::to_string(def);
+  flag.uint_value = std::make_shared<std::uint64_t>(def);
+  flags_.push_back(flag);
+  return flags_.back().uint_value;
+}
+
+std::shared_ptr<double> FlagSet::add_double(const std::string& name, double def,
+                                            const std::string& help) {
+  JACEPP_CHECK(find(name) == nullptr, "duplicate flag");
+  Flag flag;
+  flag.name = name;
+  flag.help = help;
+  flag.kind = Kind::Double;
+  flag.default_repr = std::to_string(def);
+  flag.double_value = std::make_shared<double>(def);
+  flags_.push_back(flag);
+  return flags_.back().double_value;
+}
+
+std::shared_ptr<bool> FlagSet::add_bool(const std::string& name, bool def,
+                                        const std::string& help) {
+  JACEPP_CHECK(find(name) == nullptr, "duplicate flag");
+  Flag flag;
+  flag.name = name;
+  flag.help = help;
+  flag.kind = Kind::Bool;
+  flag.default_repr = def ? "true" : "false";
+  flag.bool_value = std::make_shared<bool>(def);
+  flags_.push_back(flag);
+  return flags_.back().bool_value;
+}
+
+std::shared_ptr<std::string> FlagSet::add_string(const std::string& name,
+                                                 std::string def,
+                                                 const std::string& help) {
+  JACEPP_CHECK(find(name) == nullptr, "duplicate flag");
+  Flag flag;
+  flag.name = name;
+  flag.help = help;
+  flag.kind = Kind::String;
+  flag.default_repr = def;
+  flag.string_value = std::make_shared<std::string>(std::move(def));
+  flags_.push_back(flag);
+  return flags_.back().string_value;
+}
+
+FlagSet::Flag* FlagSet::find(const std::string& name) {
+  for (auto& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+bool FlagSet::assign(Flag& flag, const std::string& text, std::string* error) {
+  try {
+    switch (flag.kind) {
+      case Kind::Int:
+        *flag.int_value = std::stoll(text);
+        return true;
+      case Kind::Uint:
+        *flag.uint_value = std::stoull(text);
+        return true;
+      case Kind::Double:
+        *flag.double_value = std::stod(text);
+        return true;
+      case Kind::Bool:
+        if (text == "true" || text == "1") {
+          *flag.bool_value = true;
+        } else if (text == "false" || text == "0") {
+          *flag.bool_value = false;
+        } else {
+          if (error) *error = "boolean flag --" + flag.name + " got '" + text + "'";
+          return false;
+        }
+        return true;
+      case Kind::String:
+        *flag.string_value = text;
+        return true;
+    }
+  } catch (const std::exception&) {
+    if (error) *error = "flag --" + flag.name + ": cannot parse '" + text + "'";
+    return false;
+  }
+  return false;
+}
+
+bool FlagSet::parse_tokens(const std::vector<std::string>& tokens,
+                           std::string* error) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token.rfind("--", 0) != 0) {
+      if (error) *error = "unexpected positional argument '" + token + "'";
+      return false;
+    }
+    std::string name = token.substr(2);
+    std::string value;
+    bool have_value = false;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      have_value = true;
+    }
+    Flag* flag = find(name);
+    if (flag == nullptr) {
+      if (error) *error = "unknown flag --" + name;
+      return false;
+    }
+    if (!have_value) {
+      if (flag->kind == Kind::Bool) {
+        *flag->bool_value = true;
+        continue;
+      }
+      if (i + 1 >= tokens.size()) {
+        if (error) *error = "flag --" + name + " expects a value";
+        return false;
+      }
+      value = tokens[++i];
+    }
+    if (!assign(*flag, value, error)) return false;
+  }
+  return true;
+}
+
+void FlagSet::parse(int argc, char** argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--help" || std::string(argv[i]) == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      std::exit(0);
+    }
+    tokens.emplace_back(argv[i]);
+  }
+  std::string error;
+  if (!parse_tokens(tokens, &error)) {
+    std::fprintf(stderr, "%s: %s\n\n%s", program_.c_str(), error.c_str(),
+                 usage().c_str());
+    std::exit(2);
+  }
+}
+
+std::string FlagSet::usage() const {
+  std::string out = program_ + " — " + description_ + "\n\nFlags:\n";
+  for (const auto& flag : flags_) {
+    out += "  --" + flag.name + "  (default: " + flag.default_repr + ")\n      " +
+           flag.help + "\n";
+  }
+  return out;
+}
+
+}  // namespace jacepp

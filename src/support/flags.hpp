@@ -1,0 +1,65 @@
+// Tiny command-line flag parser for example and benchmark binaries.
+//
+//   FlagSet flags("bench_fig7", "Reproduces Figure 7 of the paper");
+//   auto n = flags.add_int("n", 240, "grid side length");
+//   auto seed = flags.add_uint("seed", 42, "experiment seed");
+//   flags.parse(argc, argv);            // exits with usage on --help / error
+//   run(*n, *seed);
+//
+// Accepted syntaxes: --name=value, --name value, and --flag for booleans.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jacepp {
+
+class FlagSet {
+ public:
+  FlagSet(std::string program, std::string description);
+
+  std::shared_ptr<std::int64_t> add_int(const std::string& name, std::int64_t def,
+                                        const std::string& help);
+  std::shared_ptr<std::uint64_t> add_uint(const std::string& name, std::uint64_t def,
+                                          const std::string& help);
+  std::shared_ptr<double> add_double(const std::string& name, double def,
+                                     const std::string& help);
+  std::shared_ptr<bool> add_bool(const std::string& name, bool def,
+                                 const std::string& help);
+  std::shared_ptr<std::string> add_string(const std::string& name, std::string def,
+                                          const std::string& help);
+
+  /// Parse argv. On --help or a malformed flag, prints usage and exits.
+  void parse(int argc, char** argv);
+
+  /// Parse from a token list; returns false with a message instead of exiting.
+  bool parse_tokens(const std::vector<std::string>& tokens, std::string* error);
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  enum class Kind { Int, Uint, Double, Bool, String };
+
+  struct Flag {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::string default_repr;
+    std::shared_ptr<std::int64_t> int_value;
+    std::shared_ptr<std::uint64_t> uint_value;
+    std::shared_ptr<double> double_value;
+    std::shared_ptr<bool> bool_value;
+    std::shared_ptr<std::string> string_value;
+  };
+
+  Flag* find(const std::string& name);
+  bool assign(Flag& flag, const std::string& text, std::string* error);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Flag> flags_;
+};
+
+}  // namespace jacepp

@@ -1,0 +1,61 @@
+#include "support/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace jacepp {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::once_flag g_env_once;
+std::mutex g_io_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?????";
+}
+
+void init_from_env() {
+  const char* env = std::getenv("JACEPP_LOG_LEVEL");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "debug") == 0) g_level = static_cast<int>(LogLevel::Debug);
+  else if (std::strcmp(env, "info") == 0) g_level = static_cast<int>(LogLevel::Info);
+  else if (std::strcmp(env, "warn") == 0) g_level = static_cast<int>(LogLevel::Warn);
+  else if (std::strcmp(env, "error") == 0) g_level = static_cast<int>(LogLevel::Error);
+  else if (std::strcmp(env, "off") == 0) g_level = static_cast<int>(LogLevel::Off);
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = static_cast<int>(level); }
+
+LogLevel log_level() {
+  std::call_once(g_env_once, init_from_env);
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+void log_message(LogLevel level, const char* component, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  char body[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof(body), fmt, args);
+  va_end(args);
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::fprintf(stderr, "[%s] %-10s %s\n", level_name(level), component, body);
+}
+
+}  // namespace jacepp

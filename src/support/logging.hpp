@@ -1,0 +1,36 @@
+// Thread-safe leveled logging with component tags.
+//
+// Usage:
+//   JACEPP_LOG(Info, "spawner", "detected failure of daemon %llu", id);
+//
+// The global level defaults to Warn so tests and benches stay quiet; set
+// JACEPP_LOG_LEVEL=debug|info|warn|error|off in the environment or call
+// set_log_level() to change it.
+#pragma once
+
+#include <cstdarg>
+
+namespace jacepp {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// True when a message at `level` would be emitted.
+bool log_enabled(LogLevel level);
+
+/// printf-style log entry point. Prefer the JACEPP_LOG macro, which skips
+/// argument evaluation when the level is disabled.
+void log_message(LogLevel level, const char* component, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace jacepp
+
+#define JACEPP_LOG(level, component, ...)                                     \
+  do {                                                                        \
+    if (::jacepp::log_enabled(::jacepp::LogLevel::level)) {                   \
+      ::jacepp::log_message(::jacepp::LogLevel::level, (component),           \
+                            __VA_ARGS__);                                     \
+    }                                                                         \
+  } while (0)

@@ -1,0 +1,89 @@
+// Blocking MPMC queue with deadline-aware pop, used by the real-time runtime
+// mailboxes. Closing the queue wakes all waiters; pops drain remaining items
+// before reporting closure.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace jacepp {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  /// Push an item; returns false when the queue has been closed.
+  bool push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available or the queue is closed-and-drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !items_.empty() || closed_; });
+    return take_locked();
+  }
+
+  /// Block until an item arrives, the deadline passes, or closure. Returns
+  /// nullopt on timeout or closed-and-drained.
+  std::optional<T> pop_until(std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_until(lock, deadline, [&] { return !items_.empty() || closed_; });
+    return take_locked();
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Close the queue: future pushes fail, waiters wake. Items already queued
+  /// remain poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  std::optional<T> take_locked() {
+    if (!items_.empty()) {
+      T item = std::move(items_.front());
+      items_.pop_front();
+      return item;
+    }
+    return std::nullopt;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace jacepp

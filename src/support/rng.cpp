@@ -1,0 +1,31 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+namespace jacepp {
+
+double Rng::exponential(double mean) {
+  JACEPP_ASSERT(mean > 0.0);
+  // Avoid log(0): next_double() is in [0,1), so 1 - u is in (0,1].
+  return -mean * std::log(1.0 - next_double());
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1 = 1.0 - next_double();  // (0, 1]
+  double u2 = next_double();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  JACEPP_ASSERT(k <= n);
+  // Floyd's algorithm would avoid the O(n) init, but n is small in all jacepp
+  // uses (peer counts); favour simplicity.
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  shuffle(all);
+  all.resize(k);
+  return all;
+}
+
+}  // namespace jacepp

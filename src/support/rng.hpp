@@ -1,0 +1,127 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// jacepp experiments must be reproducible from a single seed, so every source
+// of randomness in the library flows through Rng (xoshiro256**) seeded via
+// SplitMix64. Substreams (Rng::split) let independent components draw from
+// decorrelated sequences without sharing state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace jacepp {
+
+/// SplitMix64: used for seeding and cheap stateless mixing.
+struct SplitMix64 {
+  std::uint64_t state;
+
+  explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+};
+
+/// xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9a3cf02d81ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& word : s_) word = sm.next();
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // UniformRandomBitGenerator interface (usable with <algorithm> shuffles).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    JACEPP_ASSERT(lo <= hi);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+    // Lemire's nearly-divisionless bounded generation.
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * span;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < span) {
+      const std::uint64_t threshold = (0 - span) % span;
+      while (l < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * span;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return lo + static_cast<std::int64_t>(m >> 64);
+  }
+
+  /// Index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) {
+    JACEPP_ASSERT(n > 0);
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller (no caching of the pair).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Pick k distinct indices out of [0, n). Requires k <= n.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Derive an independent substream; deterministic in (this stream, tag).
+  Rng split(std::uint64_t tag) {
+    SplitMix64 sm(s_[0] ^ (tag * 0x9e3779b97f4a7c15ULL) ^ s_[3]);
+    return Rng(sm.next());
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace jacepp

@@ -1,0 +1,59 @@
+// Statistics accumulators used by the benchmark harnesses: running summary
+// (Welford) and a percentile-capable sample set.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace jacepp {
+
+/// Streaming mean/variance/min/max (Welford's algorithm); O(1) space.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Stores every sample; supports exact percentiles. Used where the sample
+/// count is small (per-run execution times).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p);
+  [[nodiscard]] double median() { return percentile(50.0); }
+  [[nodiscard]] double min();
+  [[nodiscard]] double max();
+
+  [[nodiscard]] const std::vector<double>& raw() const { return samples_; }
+
+ private:
+  void ensure_sorted();
+
+  std::vector<double> samples_;
+  bool sorted_ = true;
+};
+
+}  // namespace jacepp

@@ -1,0 +1,150 @@
+#include "core/app.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/backup.hpp"
+
+namespace jacepp::core {
+namespace {
+
+TEST(BackupPeers, PaperFigureFiveNeighbours) {
+  // Figure 5: with two backup-peers, a task's checkpoints go to its left and
+  // right neighbours.
+  const auto peers = backup_peers_of(/*task=*/2, /*task_count=*/4,
+                                     /*backup_peer_count=*/2);
+  ASSERT_EQ(peers.size(), 2u);
+  EXPECT_EQ(peers[0], 3u);  // right neighbour
+  EXPECT_EQ(peers[1], 1u);  // left neighbour
+}
+
+TEST(BackupPeers, WrapsAroundTaskSpace) {
+  const auto peers = backup_peers_of(0, 4, 2);
+  ASSERT_EQ(peers.size(), 2u);
+  EXPECT_EQ(peers[0], 1u);
+  EXPECT_EQ(peers[1], 3u);  // wraps to the last task
+}
+
+TEST(BackupPeers, NeverIncludesSelfAndNeverDuplicates) {
+  for (std::uint32_t count : {2u, 3u, 5u, 8u}) {
+    for (std::uint32_t task = 0; task < count; ++task) {
+      const auto peers = backup_peers_of(task, count, 20);
+      std::set<TaskId> unique(peers.begin(), peers.end());
+      EXPECT_EQ(unique.size(), peers.size());
+      EXPECT_EQ(unique.count(task), 0u);
+      EXPECT_EQ(peers.size(), count - 1u);  // capped at task_count - 1
+    }
+  }
+}
+
+TEST(BackupPeers, SingleTaskHasNoPeers) {
+  EXPECT_TRUE(backup_peers_of(0, 1, 20).empty());
+}
+
+TEST(BackupPeers, RespectsRequestedCount) {
+  const auto peers = backup_peers_of(10, 80, 20);
+  EXPECT_EQ(peers.size(), 20u);
+}
+
+TEST(AppDescriptor, SerializationRoundTrip) {
+  AppDescriptor app;
+  app.app_id = 9;
+  app.program = "poisson";
+  app.config = {1, 2, 3};
+  app.task_count = 80;
+  app.checkpoint_every = 5;
+  app.backup_peer_count = 20;
+  app.convergence_threshold = 1e-7;
+  app.stable_iterations_required = 4;
+
+  const auto decoded = serial::decode<AppDescriptor>(serial::encode(app));
+  EXPECT_EQ(decoded.app_id, app.app_id);
+  EXPECT_EQ(decoded.program, app.program);
+  EXPECT_EQ(decoded.config, app.config);
+  EXPECT_EQ(decoded.task_count, app.task_count);
+  EXPECT_EQ(decoded.checkpoint_every, app.checkpoint_every);
+  EXPECT_EQ(decoded.backup_peer_count, app.backup_peer_count);
+  EXPECT_DOUBLE_EQ(decoded.convergence_threshold, app.convergence_threshold);
+  EXPECT_EQ(decoded.stable_iterations_required, app.stable_iterations_required);
+}
+
+TEST(AppRegister, FindAndDaemonOf) {
+  AppRegister reg;
+  reg.app_id = 1;
+  reg.tasks = {{0, net::Stub{10, 1, net::EntityKind::Daemon}},
+               {1, net::Stub{11, 1, net::EntityKind::Daemon}}};
+  EXPECT_EQ(reg.daemon_of(0).node, 10u);
+  EXPECT_EQ(reg.daemon_of(1).node, 11u);
+  EXPECT_FALSE(reg.daemon_of(7).valid());
+  EXPECT_NE(reg.find(1), nullptr);
+  EXPECT_EQ(reg.find(9), nullptr);
+}
+
+TEST(AppRegister, SerializationRoundTrip) {
+  AppRegister reg;
+  reg.app_id = 3;
+  reg.version = 17;
+  reg.spawner = net::Stub{99, 1, net::EntityKind::Spawner};
+  reg.tasks = {{0, net::Stub{10, 2, net::EntityKind::Daemon}},
+               {1, net::Stub{}},  // failed slot: invalid stub
+               {2, net::Stub{12, 1, net::EntityKind::Daemon}}};
+  const auto decoded = serial::decode<AppRegister>(serial::encode(reg));
+  EXPECT_EQ(decoded.version, 17u);
+  EXPECT_EQ(decoded.spawner.node, 99u);
+  ASSERT_EQ(decoded.tasks.size(), 3u);
+  EXPECT_FALSE(decoded.tasks[1].daemon.valid());
+  EXPECT_EQ(decoded.tasks[2].daemon.node, 12u);
+}
+
+TEST(BackupStore, KeepsNewestPerTask) {
+  BackupStore store;
+  store.store(1, 0, 5, {1});
+  store.store(1, 0, 10, {2});
+  store.store(1, 0, 7, {3});  // older: ignored
+  const auto* entry = store.find(1, 0);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->iteration, 10u);
+  EXPECT_EQ(entry->state, (serial::Bytes{2}));
+}
+
+TEST(BackupStore, SeparatesAppsAndTasks) {
+  BackupStore store;
+  store.store(1, 0, 5, {1});
+  store.store(1, 1, 6, {2});
+  store.store(2, 0, 7, {3});
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_EQ(store.find(1, 0)->iteration, 5u);
+  EXPECT_EQ(store.find(1, 1)->iteration, 6u);
+  EXPECT_EQ(store.find(2, 0)->iteration, 7u);
+  EXPECT_EQ(store.find(2, 1), nullptr);
+}
+
+TEST(BackupStore, ClearAppRemovesOnlyThatApp) {
+  BackupStore store;
+  store.store(1, 0, 5, {1});
+  store.store(2, 0, 7, {3});
+  store.clear_app(1);
+  EXPECT_EQ(store.find(1, 0), nullptr);
+  ASSERT_NE(store.find(2, 0), nullptr);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(BackupStore, BytesAccounting) {
+  BackupStore store;
+  store.store(1, 0, 1, serial::Bytes(100, 0));
+  store.store(1, 1, 1, serial::Bytes(50, 0));
+  EXPECT_EQ(store.bytes(), 150u);
+  store.store(1, 0, 2, serial::Bytes(10, 0));  // replaces the 100-byte one
+  EXPECT_EQ(store.bytes(), 60u);
+}
+
+TEST(BackupStore, SameIterationReplaces) {
+  BackupStore store;
+  store.store(1, 0, 5, {1});
+  store.store(1, 0, 5, {9});
+  EXPECT_EQ(store.find(1, 0)->state, (serial::Bytes{9}));
+}
+
+}  // namespace
+}  // namespace jacepp::core

@@ -1,0 +1,79 @@
+// End-to-end integration on the REAL multi-threaded runtime: every entity on
+// its own thread with real clocks, solving a small Poisson instance.
+#include <gtest/gtest.h>
+
+#include "core/deployment_rt.hpp"
+#include "poisson/block_task.hpp"
+#include "poisson/poisson.hpp"
+
+namespace jacepp {
+namespace {
+
+core::RtDeploymentConfig rt_config(std::size_t n, std::uint32_t tasks,
+                                   std::uint64_t seed) {
+  poisson::force_registration();
+  core::RtDeploymentConfig config;
+  config.super_peer_count = 2;
+  config.daemon_count = tasks + 2;
+  config.seed = seed;
+
+  poisson::PoissonConfig pc;
+  pc.n = static_cast<std::uint32_t>(n);
+  pc.inner_tolerance = 1e-11;
+
+  config.app.app_id = 1;
+  config.app.program = poisson::PoissonTask::kProgramName;
+  config.app.config = poisson::encode_config(pc);
+  config.app.task_count = tasks;
+  config.app.checkpoint_every = 3;
+  config.app.backup_peer_count = 2;
+  // Real threads on few cores make iteration rates wildly uneven, which
+  // sharpens the centralized-detection race; compensate with a tight
+  // threshold and a long stability window.
+  config.app.convergence_threshold = 1e-8;
+  config.app.stable_iterations_required = 8;
+  return config;
+}
+
+TEST(IntegrationRt, ThreadedRuntimeSolvesPoisson) {
+  auto config = rt_config(16, 3, 21);
+  core::RtDeployment deployment(config);
+  deployment.start();
+  const auto report = deployment.wait(30.0);
+  ASSERT_TRUE(report.has_value()) << "threaded run did not complete in time";
+  EXPECT_TRUE(report->completed);
+  EXPECT_GT(report->max_iteration(), 0u);
+
+  poisson::PoissonConfig pc;
+  pc.n = 16;
+  const auto x = poisson::assemble_solution(16, 3, report->final_payloads);
+  EXPECT_LT(poisson::poisson_relative_residual(pc, x), 1e-3);
+}
+
+TEST(IntegrationRt, SurvivesDaemonCrash) {
+  auto config = rt_config(16, 3, 23);
+  core::RtDeployment deployment(config);
+  deployment.start();
+
+  // Give the launch a moment, then kill a computing daemon. The convergence
+  // threshold is tightened so the run lasts long enough to crash into.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  const bool killed = deployment.disconnect_random_computing_daemon();
+
+  const auto report = deployment.wait(30.0);
+  ASSERT_TRUE(report.has_value()) << "threaded run did not complete in time";
+  EXPECT_TRUE(report->completed);
+  if (killed) {
+    // The spawner either detected the failure and replaced the daemon, or the
+    // app converged before the timeout fired — both are legal outcomes.
+    EXPECT_EQ(report->failures_detected, report->replacements);
+  }
+
+  poisson::PoissonConfig pc;
+  pc.n = 16;
+  const auto x = poisson::assemble_solution(16, 3, report->final_payloads);
+  EXPECT_LT(poisson::poisson_relative_residual(pc, x), 1e-3);
+}
+
+}  // namespace
+}  // namespace jacepp

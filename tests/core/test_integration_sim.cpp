@@ -1,0 +1,117 @@
+// End-to-end integration: a complete JaceP2P network (super-peers, daemons,
+// spawner) in the discrete-event simulator solving the Poisson problem,
+// without and with disconnections.
+#include <gtest/gtest.h>
+
+#include "core/deployment.hpp"
+#include "linalg/vector_ops.hpp"
+#include "poisson/block_task.hpp"
+#include "poisson/poisson.hpp"
+
+namespace jacepp {
+namespace {
+
+core::SimDeploymentConfig small_config(std::size_t n, std::uint32_t tasks,
+                                       std::uint64_t seed,
+                                       double work_scale = 1.0) {
+  poisson::force_registration();
+  core::SimDeploymentConfig config;
+  config.super_peer_count = 2;
+  config.daemon_count = tasks + 4;  // a few spares for replacements
+  config.sim.seed = seed;
+  config.max_sim_time = 3000.0;
+
+  poisson::PoissonConfig pc;
+  pc.n = static_cast<std::uint32_t>(n);
+  pc.inner_tolerance = 1e-9;
+  pc.overlap_lines = 0;
+  pc.work_scale = work_scale;
+
+  config.app.app_id = 1;
+  config.app.program = poisson::PoissonTask::kProgramName;
+  config.app.config = poisson::encode_config(pc);
+  config.app.task_count = tasks;
+  config.app.checkpoint_every = 5;
+  config.app.backup_peer_count = 4;
+  config.app.convergence_threshold = 1e-6;
+  config.app.stable_iterations_required = 3;
+  return config;
+}
+
+double solution_error(const core::SimExperimentReport& report, std::size_t n,
+                      std::uint32_t tasks) {
+  poisson::PoissonConfig pc;
+  pc.n = static_cast<std::uint32_t>(n);
+  const auto x = poisson::assemble_solution(n, tasks,
+                                            report.spawner.final_payloads);
+  return poisson::poisson_relative_residual(pc, x);
+}
+
+TEST(IntegrationSim, ConvergesWithoutFailures) {
+  auto config = small_config(24, 4, 7);
+  core::SimDeployment deployment(config);
+  const auto report = deployment.run();
+
+  ASSERT_TRUE(report.spawner.completed);
+  EXPECT_EQ(report.spawner.failures_detected, 0u);
+  EXPECT_GT(report.spawner.execution_time(), 0.0);
+  EXPECT_GT(report.spawner.max_iteration(), 0u);
+
+  // All tasks reported a final payload.
+  for (const auto& payload : report.spawner.final_payloads) {
+    EXPECT_FALSE(payload.empty());
+  }
+
+  // The assembled global solution genuinely solves the system.
+  EXPECT_LT(solution_error(report, 24, 4), 5e-3);
+}
+
+TEST(IntegrationSim, ConvergesDespiteDisconnections) {
+  // work_scale stretches per-iteration cost into the paper's regime so the
+  // disconnections land mid-execution.
+  auto config = small_config(24, 4, 11, 100.0);
+  config.disconnect_times = {1.5, 2.5, 3.5};
+  config.reconnect_delay = 20.0;
+
+  core::SimDeployment deployment(config);
+  const auto report = deployment.run();
+
+  ASSERT_TRUE(report.spawner.completed);
+  EXPECT_EQ(report.disconnections_executed, 3u);
+  EXPECT_GE(report.spawner.failures_detected, 1u);
+  EXPECT_EQ(report.spawner.failures_detected, report.spawner.replacements);
+  EXPECT_LT(solution_error(report, 24, 4), 5e-3);
+}
+
+TEST(IntegrationSim, DeterministicForSameSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    auto config = small_config(16, 3, seed, 100.0);
+    config.disconnect_times = {1.0, 2.0};
+    core::SimDeployment deployment(config);
+    return deployment.run();
+  };
+  const auto a = run_once(42);
+  const auto b = run_once(42);
+  ASSERT_TRUE(a.spawner.completed);
+  ASSERT_TRUE(b.spawner.completed);
+  EXPECT_DOUBLE_EQ(a.spawner.convergence_time, b.spawner.convergence_time);
+  EXPECT_EQ(a.spawner.final_iterations, b.spawner.final_iterations);
+  EXPECT_EQ(a.net.sent, b.net.sent);
+}
+
+TEST(IntegrationSim, ReplacementRestoresFromBackup) {
+  auto config = small_config(24, 4, 13, 100.0);
+  config.app.checkpoint_every = 2;  // frequent checkpoints
+  config.disconnect_times = {2.0};
+  core::SimDeployment deployment(config);
+  const auto report = deployment.run();
+
+  ASSERT_TRUE(report.spawner.completed);
+  EXPECT_EQ(report.disconnections_executed, 1u);
+  // The replacement found a checkpoint (checkpointing is frequent and three
+  // other daemons hold backups).
+  EXPECT_GE(report.restores_from_backup, 1u);
+}
+
+}  // namespace
+}  // namespace jacepp

@@ -1,0 +1,203 @@
+// Hard end-to-end scenarios beyond the basic integration tests:
+//   * two applications sharing one JaceP2P network concurrently,
+//   * a super-peer dying while an application computes,
+//   * failure recovery with zero spare daemons (must wait for the
+//     reconnected peer),
+//   * an application launched before enough daemons exist.
+#include <gtest/gtest.h>
+
+#include "core/daemon.hpp"
+#include "core/deployment.hpp"
+#include "core/spawner.hpp"
+#include "core/super_peer.hpp"
+#include "poisson/block_task.hpp"
+#include "poisson/poisson.hpp"
+#include "sim/world.hpp"
+
+namespace jacepp::core {
+namespace {
+
+AppDescriptor poisson_app(AppId id, std::uint32_t n, std::uint32_t tasks,
+                          double work_scale = 1.0) {
+  poisson::force_registration();
+  poisson::PoissonConfig pc;
+  pc.n = n;
+  pc.inner_tolerance = 1e-9;
+  pc.work_scale = work_scale;
+  AppDescriptor app;
+  app.app_id = id;
+  app.program = poisson::PoissonTask::kProgramName;
+  app.config = poisson::encode_config(pc);
+  app.task_count = tasks;
+  app.checkpoint_every = 3;
+  app.backup_peer_count = 2;
+  app.convergence_threshold = 1e-6;
+  app.stable_iterations_required = 3;
+  return app;
+}
+
+double residual_of(std::uint32_t n, std::uint32_t tasks,
+                   const SpawnerReport& report) {
+  poisson::PoissonConfig pc;
+  pc.n = n;
+  const auto x = poisson::assemble_solution(n, tasks, report.final_payloads);
+  return poisson::poisson_relative_residual(pc, x);
+}
+
+TEST(Scenarios, TwoApplicationsShareOneNetwork) {
+  // Paper §4.2: "Several applications can be executed in the JaceP2P network
+  // at the same time, but a Daemon can only run a single Task at a given
+  // time."
+  sim::SimWorld world(sim::SimConfig{97, 1e6, 0.05, 0.02});
+
+  // Two super-peers.
+  std::vector<net::Stub> sp_stubs;
+  std::vector<SuperPeer*> sps;
+  for (int i = 0; i < 2; ++i) {
+    auto sp = std::make_unique<SuperPeer>();
+    sps.push_back(sp.get());
+    sp_stubs.push_back(world.add_node(std::move(sp),
+                                      sim::MachineSpec::super_peer_class(),
+                                      net::EntityKind::SuperPeer));
+  }
+  for (auto* sp : sps) sp->set_linked_peers(sp_stubs);
+  std::vector<net::Stub> addresses;
+  for (const auto& s : sp_stubs) addresses.push_back(s.address());
+
+  // Eight daemons: enough for 3 + 4 tasks with one spare.
+  for (int i = 0; i < 8; ++i) {
+    world.add_node(std::make_unique<Daemon>(addresses), sim::MachineSpec{},
+                   net::EntityKind::Daemon);
+  }
+
+  // Two spawners with different applications and grids.
+  int completed = 0;
+  SpawnerReport report_a;
+  SpawnerReport report_b;
+  auto make_done = [&](SpawnerReport* slot) {
+    return [&completed, slot, &world](const SpawnerReport& r) {
+      *slot = r;
+      if (++completed == 2) world.request_stop();
+    };
+  };
+  world.add_node(std::make_unique<Spawner>(poisson_app(1, 18, 3), addresses,
+                                           make_done(&report_a)),
+                 sim::MachineSpec::spawner_class(), net::EntityKind::Spawner);
+  world.add_node(std::make_unique<Spawner>(poisson_app(2, 24, 4), addresses,
+                                           make_done(&report_b)),
+                 sim::MachineSpec::spawner_class(), net::EntityKind::Spawner);
+
+  world.run_until(2000.0);
+  ASSERT_EQ(completed, 2);
+  EXPECT_TRUE(report_a.completed);
+  EXPECT_TRUE(report_b.completed);
+  // Each application's data stayed in its own lane.
+  EXPECT_LT(residual_of(18, 3, report_a), 5e-3);
+  EXPECT_LT(residual_of(24, 4, report_b), 5e-3);
+}
+
+TEST(Scenarios, SuperPeerDiesWhileComputing) {
+  // An SP failure must not disturb a running application (computing daemons
+  // heartbeat the spawner, not the SP), and replacements must still be
+  // servable through the surviving SP.
+  SimDeploymentConfig config;
+  config.super_peer_count = 2;
+  config.daemon_count = 7;
+  config.app = poisson_app(1, 24, 4, 100.0);
+  config.max_sim_time = 2000.0;
+  config.disconnect_times = {3.0};  // daemon failure after the SP died
+  config.reconnect = false;
+  SimDeployment deployment(config);
+  deployment.build();
+
+  // Kill one super-peer early.
+  deployment.world().schedule_global(1.0, [&] {
+    deployment.world().disconnect(
+        deployment.super_peer_addresses()[0].node);
+  });
+
+  const auto report = deployment.run();
+  ASSERT_TRUE(report.spawner.completed);
+  EXPECT_EQ(report.spawner.failures_detected, 1u);
+  EXPECT_EQ(report.spawner.replacements, 1u);
+  EXPECT_LT(residual_of(24, 4, report.spawner), 5e-3);
+}
+
+TEST(Scenarios, RecoveryWaitsForReconnectedPeerWhenNoSpares) {
+  // daemon_count == task_count: a failed daemon can only be replaced by its
+  // own reconnection 20 s later (paper §7 protocol with a full fleet).
+  SimDeploymentConfig config;
+  config.super_peer_count = 1;
+  config.daemon_count = 4;
+  config.app = poisson_app(1, 24, 4, 200.0);
+  config.max_sim_time = 3000.0;
+  config.disconnect_times = {4.0};
+  config.reconnect = true;
+  config.reconnect_delay = 20.0;
+  SimDeployment deployment(config);
+  const auto report = deployment.run();
+  ASSERT_TRUE(report.spawner.completed);
+  EXPECT_EQ(report.disconnections_executed, 1u);
+  EXPECT_EQ(report.reconnections_executed, 1u);
+  EXPECT_EQ(report.spawner.replacements, 1u);
+  // The replacement could not happen before the reconnection.
+  EXPECT_GT(report.spawner.execution_time(), 24.0);
+  EXPECT_LT(residual_of(24, 4, report.spawner), 5e-3);
+}
+
+TEST(Scenarios, LaunchBlocksUntilFleetExists) {
+  // The spawner comes up before ANY daemon; daemons trickle in afterwards.
+  SimDeploymentConfig config;
+  config.super_peer_count = 1;
+  config.daemon_count = 0;
+  config.app = poisson_app(1, 16, 3);
+  config.max_sim_time = 2000.0;
+  SimDeployment deployment(config);
+  deployment.build();
+
+  auto& world = deployment.world();
+  for (int i = 0; i < 3; ++i) {
+    world.schedule_global(2.0 + i, [&deployment, &world] {
+      world.add_node(
+          std::make_unique<Daemon>(deployment.super_peer_addresses()),
+          sim::MachineSpec{}, net::EntityKind::Daemon);
+    });
+  }
+  const auto report = deployment.run();
+  ASSERT_TRUE(report.spawner.completed);
+  EXPECT_GT(report.spawner.launch_time, 4.0);
+  EXPECT_LT(residual_of(16, 3, report.spawner), 5e-3);
+}
+
+TEST(Scenarios, RepeatedFailuresOfSameTask) {
+  // The same task slot is killed three times in a row; every replacement
+  // must restore and the run still converges.
+  SimDeploymentConfig config;
+  config.super_peer_count = 1;
+  config.daemon_count = 8;
+  config.app = poisson_app(1, 24, 4, 300.0);
+  config.max_sim_time = 4000.0;
+  config.reconnect = true;
+  SimDeployment deployment(config);
+  deployment.build();
+
+  auto& world = deployment.world();
+  for (int hit = 0; hit < 3; ++hit) {
+    world.schedule_global(4.0 + 6.0 * hit, [&deployment, &world] {
+      auto* spawner = deployment.spawner();
+      if (spawner == nullptr || !spawner->launched() || spawner->halted()) return;
+      const net::Stub victim = spawner->app_register().daemon_of(1);
+      if (victim.valid() && world.is_current(victim)) {
+        world.disconnect(victim.node);
+      }
+    });
+  }
+  const auto report = deployment.run();
+  ASSERT_TRUE(report.spawner.completed);
+  EXPECT_GE(report.spawner.failures_detected, 2u);
+  EXPECT_EQ(report.spawner.failures_detected, report.spawner.replacements);
+  EXPECT_LT(residual_of(24, 4, report.spawner), 5e-3);
+}
+
+}  // namespace
+}  // namespace jacepp::core

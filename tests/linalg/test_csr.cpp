@@ -1,0 +1,158 @@
+#include "linalg/csr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace jacepp::linalg {
+namespace {
+
+CsrMatrix small_matrix() {
+  // [ 2 -1  0 ]
+  // [-1  2 -1 ]
+  // [ 0 -1  2 ]
+  CsrBuilder b(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    b.add(i, i, 2.0);
+    if (i > 0) b.add(i, i - 1, -1.0);
+    if (i + 1 < 3) b.add(i, i + 1, -1.0);
+  }
+  return b.build();
+}
+
+TEST(Csr, BuildAndInspect) {
+  const auto a = small_matrix();
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_EQ(a.cols(), 3u);
+  EXPECT_EQ(a.nnz(), 7u);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 1), -1.0);
+}
+
+TEST(Csr, DuplicateTripletsAreSummed) {
+  CsrBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 0, 2.5);
+  b.add(1, 1, -1.0);
+  b.add(1, 1, 1.0);  // cancels to zero: entry dropped
+  const auto a = b.build();
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.5);
+  EXPECT_EQ(a.nnz(), 1u);
+}
+
+TEST(Csr, Multiply) {
+  const auto a = small_matrix();
+  Vector x{1, 2, 3};
+  Vector y;
+  a.multiply(x, y);
+  EXPECT_EQ(y, (Vector{0, 0, 4}));
+}
+
+TEST(Csr, MultiplyAddAccumulates) {
+  const auto a = small_matrix();
+  Vector x{1, 2, 3};
+  Vector y{10, 10, 10};
+  a.multiply_add(x, y);
+  EXPECT_EQ(y, (Vector{10, 10, 14}));
+}
+
+TEST(Csr, Diagonal) {
+  const auto a = small_matrix();
+  EXPECT_EQ(a.diagonal(), (Vector{2, 2, 2}));
+}
+
+TEST(Csr, BlockExtraction) {
+  const auto a = small_matrix();
+  const auto block = a.block(1, 3, 1, 3);
+  EXPECT_EQ(block.rows(), 2u);
+  EXPECT_EQ(block.cols(), 2u);
+  EXPECT_DOUBLE_EQ(block.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(block.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(block.at(1, 0), -1.0);
+  // The -1 coupling to column 0 is outside the window and must be dropped.
+  EXPECT_EQ(block.nnz(), 4u);
+}
+
+TEST(Csr, OffBlockMultiplyAdd) {
+  const auto a = small_matrix();
+  // Rows [1,3) with column window [1,3): the only outside entry is
+  // A(1,0) = -1 acting on x_global[0].
+  Vector x_global{10, 0, 0};
+  Vector y_local(2, 0.0);
+  a.off_block_multiply_add(1, 3, 1, 3, x_global, y_local);
+  EXPECT_EQ(y_local, (Vector{-10, 0}));
+}
+
+TEST(Csr, BlockPlusOffBlockEqualsFullRow) {
+  // For any window, block*x_in + off_block*x_global == (A x)[rows].
+  Rng rng(77);
+  CsrBuilder b(8, 8);
+  for (int k = 0; k < 30; ++k) {
+    b.add(rng.index(8), rng.index(8), rng.uniform(-2, 2));
+  }
+  const auto a = b.build();
+  Vector x(8);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+
+  Vector full;
+  a.multiply(x, full);
+
+  const std::size_t lo = 2;
+  const std::size_t hi = 6;
+  const auto block = a.block(lo, hi, lo, hi);
+  Vector x_in(x.begin() + lo, x.begin() + hi);
+  Vector y;
+  block.multiply(x_in, y);
+  a.off_block_multiply_add(lo, hi, lo, hi, x, y);
+  for (std::size_t i = 0; i < hi - lo; ++i) {
+    EXPECT_NEAR(y[i], full[lo + i], 1e-12);
+  }
+}
+
+TEST(Csr, Transpose) {
+  CsrBuilder b(2, 3);
+  b.add(0, 1, 5.0);
+  b.add(1, 2, -3.0);
+  const auto a = b.build();
+  const auto t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), -3.0);
+  EXPECT_EQ(t.nnz(), 2u);
+}
+
+TEST(Csr, Identity) {
+  const auto eye = identity(4);
+  Vector x{1, 2, 3, 4};
+  Vector y;
+  eye.multiply(x, y);
+  EXPECT_EQ(y, x);
+}
+
+TEST(Csr, SerializationRoundTrip) {
+  const auto a = small_matrix();
+  const auto bytes = serial::encode(a);
+  const auto b = serial::decode<CsrMatrix>(bytes);
+  EXPECT_EQ(b.rows(), a.rows());
+  EXPECT_EQ(b.cols(), a.cols());
+  EXPECT_EQ(b.row_ptr(), a.row_ptr());
+  EXPECT_EQ(b.col_idx(), a.col_idx());
+  EXPECT_EQ(b.values(), a.values());
+}
+
+TEST(Csr, EmptyRowsHandled) {
+  CsrBuilder b(3, 3);
+  b.add(0, 0, 1.0);
+  b.add(2, 2, 1.0);
+  const auto a = b.build();
+  Vector x{1, 1, 1};
+  Vector y;
+  a.multiply(x, y);
+  EXPECT_EQ(y, (Vector{1, 0, 1}));
+}
+
+}  // namespace
+}  // namespace jacepp::linalg

@@ -1,0 +1,121 @@
+#include "linalg/splitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "poisson/poisson.hpp"
+
+namespace jacepp::linalg {
+namespace {
+
+TEST(Splitting, PoissonHasMMatrixSignPattern) {
+  const auto a = poisson::assemble_laplacian(8);
+  EXPECT_TRUE(has_m_matrix_sign_pattern(a));
+}
+
+TEST(Splitting, PositiveOffDiagonalBreaksPattern) {
+  CsrBuilder b(2, 2);
+  b.add(0, 0, 2.0);
+  b.add(0, 1, 0.5);  // positive off-diagonal
+  b.add(1, 1, 2.0);
+  EXPECT_FALSE(has_m_matrix_sign_pattern(b.build()));
+}
+
+TEST(Splitting, NonPositiveDiagonalBreaksPattern) {
+  CsrBuilder b(2, 2);
+  b.add(0, 0, -2.0);
+  b.add(1, 1, 2.0);
+  EXPECT_FALSE(has_m_matrix_sign_pattern(b.build()));
+}
+
+TEST(Splitting, MissingDiagonalBreaksPattern) {
+  CsrBuilder b(2, 2);
+  b.add(0, 1, -1.0);
+  b.add(1, 1, 2.0);
+  EXPECT_FALSE(has_m_matrix_sign_pattern(b.build()));
+}
+
+TEST(Splitting, PoissonIsWeaklyDiagonallyDominant) {
+  const auto a = poisson::assemble_laplacian(6);
+  bool any_strict = false;
+  EXPECT_TRUE(is_weakly_diagonally_dominant(a, &any_strict));
+  EXPECT_TRUE(any_strict);  // boundary rows are strictly dominant
+}
+
+TEST(Splitting, NonDominantMatrixDetected) {
+  CsrBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 1, -3.0);
+  b.add(1, 1, 1.0);
+  EXPECT_FALSE(is_weakly_diagonally_dominant(b.build()));
+}
+
+TEST(Splitting, BlockJacobiSplittingReconstructsA) {
+  const auto a = poisson::assemble_laplacian(6);
+  const auto blocks = partition_rows(36, 3, 6, 0);
+  const auto split = make_block_jacobi_splitting(a, blocks);
+  // A = M - N entrywise.
+  for (std::size_t r = 0; r < 36; ++r) {
+    for (std::size_t c = 0; c < 36; ++c) {
+      EXPECT_NEAR(split.m.at(r, c) - split.n.at(r, c), a.at(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(Splitting, SplittingMIsBlockDiagonal) {
+  const auto a = poisson::assemble_laplacian(6);
+  const auto blocks = partition_rows(36, 3, 6, 0);
+  const auto split = make_block_jacobi_splitting(a, blocks);
+  for (std::size_t r = 0; r < 36; ++r) {
+    const std::size_t owner = owner_of_row(blocks, r);
+    for (std::size_t c = 0; c < 36; ++c) {
+      if (owner_of_row(blocks, c) != owner) {
+        EXPECT_DOUBLE_EQ(split.m.at(r, c), 0.0);
+      }
+    }
+  }
+}
+
+TEST(Splitting, SplittingIsWeakRegular) {
+  // Weak regular: M⁻¹ >= 0 (M is an M-matrix here) and N >= 0.
+  const auto a = poisson::assemble_laplacian(6);
+  const auto blocks = partition_rows(36, 3, 6, 0);
+  const auto split = make_block_jacobi_splitting(a, blocks);
+  EXPECT_TRUE(has_m_matrix_sign_pattern(split.m));
+  for (double v : split.n.values()) EXPECT_GE(v, 0.0);
+}
+
+TEST(Splitting, PowerIterationOnDiagonalMatrix) {
+  CsrBuilder b(3, 3);
+  b.add(0, 0, 0.5);
+  b.add(1, 1, -0.9);
+  b.add(2, 2, 0.1);
+  Rng rng(7);
+  const double rho = power_iteration_spectral_radius(b.build(), 200, rng);
+  EXPECT_NEAR(rho, 0.9, 1e-6);
+}
+
+TEST(Splitting, AsyncSpectralRadiusBelowOneForPoisson) {
+  // The paper's §6 condition: rho(|iteration matrix|) < 1 guarantees
+  // asynchronous convergence of block-Jacobi on this problem.
+  const auto a = poisson::assemble_laplacian(8);
+  const auto blocks = partition_rows(64, 4, 8, 0);
+  Rng rng(11);
+  const double rho = estimate_async_spectral_radius(a, blocks, 60, rng);
+  EXPECT_GT(rho, 0.0);
+  EXPECT_LT(rho, 1.0);
+}
+
+TEST(Splitting, FinerBlocksIncreaseSpectralRadius) {
+  // More blocks = weaker M = slower convergence: rho grows with block count.
+  const auto a = poisson::assemble_laplacian(12);
+  Rng rng(13);
+  const auto blocks2 = partition_rows(144, 2, 12, 0);
+  const auto blocks6 = partition_rows(144, 6, 12, 0);
+  const double rho2 = estimate_async_spectral_radius(a, blocks2, 60, rng);
+  const double rho6 = estimate_async_spectral_radius(a, blocks6, 60, rng);
+  EXPECT_LT(rho2, rho6);
+  EXPECT_LT(rho6, 1.0);
+}
+
+}  // namespace
+}  // namespace jacepp::linalg

@@ -1,0 +1,64 @@
+#include "linalg/vector_ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace jacepp::linalg {
+namespace {
+
+TEST(VectorOps, Axpy) {
+  Vector x{1, 2, 3};
+  Vector y{10, 20, 30};
+  axpy(2.0, x, y);
+  EXPECT_EQ(y, (Vector{12, 24, 36}));
+}
+
+TEST(VectorOps, Axpby) {
+  Vector x{1, 2, 3};
+  Vector y{10, 20, 30};
+  axpby(2.0, x, 0.5, y);
+  EXPECT_EQ(y, (Vector{7, 14, 21}));
+}
+
+TEST(VectorOps, Dot) {
+  Vector x{1, 2, 3};
+  Vector y{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(x, y), 32.0);
+  EXPECT_DOUBLE_EQ(dot(Vector{}, Vector{}), 0.0);
+}
+
+TEST(VectorOps, Norms) {
+  Vector x{3, -4};
+  EXPECT_DOUBLE_EQ(norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(x), 4.0);
+  EXPECT_DOUBLE_EQ(norm2(Vector{}), 0.0);
+  EXPECT_DOUBLE_EQ(norm_inf(Vector{}), 0.0);
+}
+
+TEST(VectorOps, Distances) {
+  Vector x{1, 2, 3};
+  Vector y{1, 4, 3};
+  EXPECT_DOUBLE_EQ(distance2(x, y), 2.0);
+  EXPECT_DOUBLE_EQ(distance_inf(x, y), 2.0);
+  EXPECT_DOUBLE_EQ(distance2(x, x), 0.0);
+}
+
+TEST(VectorOps, ScaleAndFill) {
+  Vector x{1, -2, 4};
+  scale(x, -0.5);
+  EXPECT_EQ(x, (Vector{-0.5, 1, -2}));
+  fill(x, 7.0);
+  EXPECT_EQ(x, (Vector{7, 7, 7}));
+}
+
+TEST(VectorOps, Residual) {
+  Vector b{5, 6};
+  Vector ax{1, 2};
+  Vector r;
+  residual(b, ax, r);
+  EXPECT_EQ(r, (Vector{4, 4}));
+}
+
+}  // namespace
+}  // namespace jacepp::linalg

@@ -1,0 +1,86 @@
+#include "poisson/poisson.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/splitting.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace jacepp::poisson {
+namespace {
+
+TEST(Poisson, LaplacianShapeAndStencil) {
+  const std::size_t n = 5;
+  const auto a = assemble_laplacian(n);
+  EXPECT_EQ(a.rows(), 25u);
+  EXPECT_EQ(a.cols(), 25u);
+  const double inv_h2 = 36.0;  // h = 1/6
+  // Interior point (2,2) = row 12: full 5-point stencil.
+  EXPECT_DOUBLE_EQ(a.at(12, 12), 4.0 * inv_h2);
+  EXPECT_DOUBLE_EQ(a.at(12, 11), -inv_h2);
+  EXPECT_DOUBLE_EQ(a.at(12, 13), -inv_h2);
+  EXPECT_DOUBLE_EQ(a.at(12, 7), -inv_h2);
+  EXPECT_DOUBLE_EQ(a.at(12, 17), -inv_h2);
+  // Corner (0,0) = row 0: only right and up neighbours stored.
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 4.0 * inv_h2);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), -inv_h2);
+  EXPECT_DOUBLE_EQ(a.at(0, 5), -inv_h2);
+  EXPECT_EQ(a.nnz(), 25u * 5 - 4 * 5);  // 5 per row minus boundary trims
+}
+
+TEST(Poisson, NoWrapAroundBetweenGridLines) {
+  // Row at the right edge of a line must NOT couple to the next line's left
+  // edge (index +1 wraps in memory, not on the grid).
+  const std::size_t n = 4;
+  const auto a = assemble_laplacian(n);
+  EXPECT_DOUBLE_EQ(a.at(3, 4), 0.0);
+  EXPECT_DOUBLE_EQ(a.at(4, 3), 0.0);
+  EXPECT_DOUBLE_EQ(a.at(7, 8), 0.0);
+}
+
+TEST(Poisson, LaplacianIsSymmetric) {
+  const auto a = assemble_laplacian(6);
+  const auto t = a.transpose();
+  EXPECT_EQ(a.row_ptr(), t.row_ptr());
+  EXPECT_EQ(a.col_idx(), t.col_idx());
+  EXPECT_EQ(a.values(), t.values());
+}
+
+TEST(Poisson, LaplacianIsMMatrixCandidate) {
+  const auto a = assemble_laplacian(7);
+  EXPECT_TRUE(linalg::has_m_matrix_sign_pattern(a));
+  bool any_strict = false;
+  EXPECT_TRUE(linalg::is_weakly_diagonally_dominant(a, &any_strict));
+  EXPECT_TRUE(any_strict);
+}
+
+TEST(Poisson, DiscreteSolutionApproachesContinuous) {
+  // The finite-difference solution converges to u = sin(πx)sin(πy) at O(h²).
+  double prev_error = 1e9;
+  for (const std::size_t n : {8, 16, 32}) {
+    const auto problem = make_default_problem(n);
+    const auto x = reference_solve(problem);
+    const auto exact = default_exact_solution(n);
+    const double err = linalg::distance_inf(x, exact);
+    EXPECT_LT(err, prev_error / 3.0);  // better than 3x improvement per 2x n
+    prev_error = err;
+  }
+  EXPECT_LT(prev_error, 1e-3);
+}
+
+TEST(Poisson, ManufacturedProblemIsExactlySolvable) {
+  const auto mp = make_manufactured_problem(10, 77);
+  const auto x = reference_solve(mp.problem, 1e-12);
+  EXPECT_LT(linalg::distance_inf(x, mp.exact), 1e-8);
+}
+
+TEST(Poisson, RhsMatchesFieldSamples) {
+  const std::size_t n = 4;
+  const auto b = assemble_rhs(n, [](double x, double y) { return x + 10 * y; });
+  const double h = 0.2;
+  EXPECT_NEAR(b[0], h + 10 * h, 1e-12);            // (i=0, j=0)
+  EXPECT_NEAR(b[3], 4 * h + 10 * h, 1e-12);        // (i=3, j=0)
+  EXPECT_NEAR(b[12], h + 40 * h, 1e-12);           // (i=0, j=3)
+}
+
+}  // namespace
+}  // namespace jacepp::poisson

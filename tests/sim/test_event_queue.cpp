@@ -1,0 +1,91 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace jacepp::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  double now = 0;
+  while (!q.empty()) q.pop(&now)();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(now, 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  double now = 0;
+  while (!q.empty()) q.pop(&now)();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelledEventsAreSkipped) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  const EventId second = q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.cancel(second);
+  double now = 0;
+  while (!q.empty()) q.pop(&now)();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, CancelEverythingLeavesEmptyQueue) {
+  EventQueue q;
+  const auto a = q.schedule(1.0, [] {});
+  const auto b = q.schedule(2.0, [] {});
+  q.cancel(a);
+  q.cancel(b);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledHead) {
+  EventQueue q;
+  const auto head = q.schedule(1.0, [] {});
+  q.schedule(5.0, [] {});
+  q.cancel(head);
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+TEST(EventQueue, EventsScheduledDuringPop) {
+  EventQueue q;
+  std::vector<double> times;
+  double now = 0;
+  q.schedule(1.0, [&] {
+    times.push_back(1.0);
+    q.schedule(1.5, [&] { times.push_back(1.5); });
+  });
+  while (!q.empty()) q.pop(&now)();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 1.5}));
+}
+
+TEST(EventQueue, ManyEventsStressOrder) {
+  EventQueue q;
+  double last = -1.0;
+  bool ordered = true;
+  for (int i = 0; i < 10000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    q.schedule(t, [&, t] {
+      if (t < last) ordered = false;
+      last = t;
+    });
+  }
+  double now = 0;
+  while (!q.empty()) q.pop(&now)();
+  EXPECT_TRUE(ordered);
+}
+
+}  // namespace
+}  // namespace jacepp::sim

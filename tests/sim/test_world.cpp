@@ -1,0 +1,303 @@
+#include "sim/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/env.hpp"
+#include "rmi/rmi.hpp"
+
+namespace jacepp::sim {
+namespace {
+
+/// Minimal test payload.
+struct Ping {
+  static constexpr net::MessageType kType = 9001;
+  std::uint32_t value = 0;
+  void serialize(serial::Writer& w) const { w.u32(value); }
+  static Ping deserialize(serial::Reader& r) { return Ping{r.u32()}; }
+};
+
+/// Actor recording everything it sees.
+class Recorder : public net::Actor {
+ public:
+  void on_start(net::Env& env) override {
+    started_at = env.now();
+    env_ = &env;
+  }
+  void on_message(const net::Message& m, net::Env& env) override {
+    received.push_back(net::payload_of<Ping>(m).value);
+    receive_times.push_back(env.now());
+    from = m.from;
+  }
+  void on_stop(net::Env&) override { stopped = true; }
+
+  void send_ping(const net::Stub& to, std::uint32_t value) {
+    rmi::invoke(*env_, to, Ping{value});
+  }
+
+  net::Env* env_ = nullptr;
+  double started_at = -1;
+  std::vector<std::uint32_t> received;
+  std::vector<double> receive_times;
+  net::Stub from;
+  bool stopped = false;
+};
+
+TEST(SimWorld, StartsActorsAtTimeZero) {
+  SimWorld world;
+  auto actor = std::make_unique<Recorder>();
+  Recorder* rec = actor.get();
+  world.add_node(std::move(actor), MachineSpec{}, net::EntityKind::Daemon);
+  world.run();
+  EXPECT_DOUBLE_EQ(rec->started_at, 0.0);
+}
+
+TEST(SimWorld, DeliversMessagesWithLatency) {
+  SimWorld world;
+  auto a = std::make_unique<Recorder>();
+  auto b = std::make_unique<Recorder>();
+  Recorder* ra = a.get();
+  Recorder* rb = b.get();
+  const auto stub_a =
+      world.add_node(std::move(a), MachineSpec{}, net::EntityKind::Daemon);
+  const auto stub_b =
+      world.add_node(std::move(b), MachineSpec{}, net::EntityKind::Daemon);
+  (void)stub_a;
+  world.schedule_global(0.0, [&] { ra->send_ping(stub_b, 42); });
+  world.run();
+  ASSERT_EQ(rb->received.size(), 1u);
+  EXPECT_EQ(rb->received[0], 42u);
+  EXPECT_GT(rb->receive_times[0], 0.0);        // latency is non-zero
+  EXPECT_LT(rb->receive_times[0], 0.05);       // wire + RMI-style overhead
+  EXPECT_EQ(rb->from.node, stub_a.node);       // sender stub attached
+  EXPECT_EQ(world.stats().delivered, 1u);
+}
+
+TEST(SimWorld, MessagesToDownNodesAreLost) {
+  SimWorld world;
+  auto a = std::make_unique<Recorder>();
+  auto b = std::make_unique<Recorder>();
+  Recorder* ra = a.get();
+  world.add_node(std::move(a), MachineSpec{}, net::EntityKind::Daemon);
+  const auto stub_b =
+      world.add_node(std::move(b), MachineSpec{}, net::EntityKind::Daemon);
+  world.schedule_global(0.0, [&] {
+    world.disconnect(stub_b.node);
+    ra->send_ping(stub_b, 1);
+  });
+  world.run();
+  EXPECT_EQ(world.stats().lost_down, 1u);
+  EXPECT_EQ(world.stats().delivered, 0u);
+}
+
+TEST(SimWorld, InFlightMessagesToCrashedNodeAreLost) {
+  SimWorld world;
+  auto a = std::make_unique<Recorder>();
+  auto b = std::make_unique<Recorder>();
+  Recorder* ra = a.get();
+  Recorder* rb = b.get();
+  world.add_node(std::move(a), MachineSpec{}, net::EntityKind::Daemon);
+  const auto stub_b =
+      world.add_node(std::move(b), MachineSpec{}, net::EntityKind::Daemon);
+  world.schedule_global(0.0, [&] {
+    ra->send_ping(stub_b, 1);            // in flight...
+    world.disconnect(stub_b.node);       // ...crashes before delivery
+  });
+  world.run();
+  EXPECT_TRUE(rb->received.empty());
+  EXPECT_EQ(world.stats().lost_down, 1u);
+}
+
+TEST(SimWorld, StaleIncarnationStubsAreRejected) {
+  SimWorld world;
+  auto a = std::make_unique<Recorder>();
+  Recorder* ra = a.get();
+  world.add_node(std::move(a), MachineSpec{}, net::EntityKind::Daemon);
+  auto b = std::make_unique<Recorder>();
+  const auto old_stub =
+      world.add_node(std::move(b), MachineSpec{}, net::EntityKind::Daemon);
+
+  world.schedule_global(1.0, [&] { world.disconnect(old_stub.node); });
+  Recorder* revived = nullptr;
+  world.schedule_global(2.0, [&] {
+    auto fresh = std::make_unique<Recorder>();
+    revived = fresh.get();
+    world.revive(old_stub.node, std::move(fresh));
+  });
+  world.schedule_global(3.0, [&] { ra->send_ping(old_stub, 7); });  // stale!
+  world.run();
+  ASSERT_NE(revived, nullptr);
+  EXPECT_TRUE(revived->received.empty());
+  EXPECT_EQ(world.stats().lost_stale, 1u);
+}
+
+TEST(SimWorld, AddressStubsReachAnyIncarnation) {
+  SimWorld world;
+  auto a = std::make_unique<Recorder>();
+  Recorder* ra = a.get();
+  world.add_node(std::move(a), MachineSpec{}, net::EntityKind::Daemon);
+  auto b = std::make_unique<Recorder>();
+  const auto old_stub =
+      world.add_node(std::move(b), MachineSpec{}, net::EntityKind::Daemon);
+
+  Recorder* revived = nullptr;
+  world.schedule_global(1.0, [&] { world.disconnect(old_stub.node); });
+  world.schedule_global(2.0, [&] {
+    auto fresh = std::make_unique<Recorder>();
+    revived = fresh.get();
+    world.revive(old_stub.node, std::move(fresh));
+  });
+  world.schedule_global(3.0, [&] { ra->send_ping(old_stub.address(), 7); });
+  world.run();
+  ASSERT_NE(revived, nullptr);
+  ASSERT_EQ(revived->received.size(), 1u);
+  EXPECT_EQ(revived->received[0], 7u);
+}
+
+TEST(SimWorld, ReviveBumpsIncarnation) {
+  SimWorld world;
+  auto a = std::make_unique<Recorder>();
+  const auto stub =
+      world.add_node(std::move(a), MachineSpec{}, net::EntityKind::Daemon);
+  EXPECT_EQ(stub.incarnation, 1u);
+  world.disconnect(stub.node);
+  const auto stub2 = world.revive(stub.node, std::make_unique<Recorder>());
+  EXPECT_EQ(stub2.incarnation, 2u);
+  EXPECT_TRUE(world.is_up(stub.node));
+  EXPECT_FALSE(world.is_current(stub));
+  EXPECT_TRUE(world.is_current(stub2));
+}
+
+TEST(SimWorld, ComputeChargesTimeAndSerializes) {
+  SimWorld world;
+
+  class Computer : public net::Actor {
+   public:
+    void on_start(net::Env& env) override {
+      // Two compute units of 1e6 flops each on a 1e6 flops/s machine must
+      // finish at ~1s and ~2s (serialized), not both at ~1s.
+      env.compute([] { return 1e6; }, [&, this] { first_done = env_->now(); });
+      env.compute([] { return 1e6; }, [&, this] { second_done = env_->now(); });
+      env_ = &env;
+    }
+    void on_message(const net::Message&, net::Env&) override {}
+    net::Env* env_ = nullptr;
+    double first_done = -1;
+    double second_done = -1;
+  };
+
+  SimConfig config;
+  config.compute_jitter = 0.0;
+  SimWorld jitterless(config);
+  auto actor = std::make_unique<Computer>();
+  Computer* computer = actor.get();
+  MachineSpec spec;
+  spec.flops_per_sec = 1e6;
+  jitterless.add_node(std::move(actor), spec, net::EntityKind::Daemon);
+  jitterless.run();
+  EXPECT_NEAR(computer->first_done, 1.0, 1e-9);
+  EXPECT_NEAR(computer->second_done, 2.0, 1e-9);
+}
+
+TEST(SimWorld, TimerCancellation) {
+  SimWorld world;
+
+  class TimerActor : public net::Actor {
+   public:
+    void on_start(net::Env& env) override {
+      const auto id = env.schedule(1.0, [this] { fired = true; });
+      env.schedule(0.5, [&env, id] { env.cancel(id); });
+    }
+    void on_message(const net::Message&, net::Env&) override {}
+    bool fired = false;
+  };
+
+  auto actor = std::make_unique<TimerActor>();
+  TimerActor* ta = actor.get();
+  world.add_node(std::move(actor), MachineSpec{}, net::EntityKind::Daemon);
+  world.run();
+  EXPECT_FALSE(ta->fired);
+}
+
+TEST(SimWorld, TimersDieWithTheirNode) {
+  SimWorld world;
+
+  class TimerActor : public net::Actor {
+   public:
+    void on_start(net::Env& env) override {
+      env.schedule(5.0, [this] { fired = true; });
+    }
+    void on_message(const net::Message&, net::Env&) override {}
+    bool fired = false;
+  };
+
+  auto actor = std::make_unique<TimerActor>();
+  TimerActor* ta = actor.get();
+  const auto stub =
+      world.add_node(std::move(actor), MachineSpec{}, net::EntityKind::Daemon);
+  world.schedule_global(1.0, [&] { world.disconnect(stub.node); });
+  world.run();
+  EXPECT_FALSE(ta->fired);
+}
+
+TEST(SimWorld, ShutdownSelfInvokesOnStop) {
+  SimWorld world;
+
+  class Quitter : public net::Actor {
+   public:
+    void on_start(net::Env& env) override {
+      env.schedule(1.0, [&env] { env.shutdown_self(); });
+    }
+    void on_message(const net::Message&, net::Env&) override {}
+    void on_stop(net::Env&) override { stopped = true; }
+    bool stopped = false;
+  };
+
+  auto actor = std::make_unique<Quitter>();
+  Quitter* quitter = actor.get();
+  const auto stub =
+      world.add_node(std::move(actor), MachineSpec{}, net::EntityKind::Daemon);
+  world.run();
+  EXPECT_TRUE(quitter->stopped);
+  EXPECT_FALSE(world.is_up(stub.node));
+}
+
+TEST(SimWorld, RunUntilStopsAtRequestedTime) {
+  SimWorld world;
+  int fired = 0;
+  world.schedule_global(1.0, [&] { ++fired; });
+  world.schedule_global(5.0, [&] { ++fired; });
+  world.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(world.now(), 2.0);
+  world.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimWorld, BiggerMessagesTakeLonger) {
+  SimConfig config;
+  config.message_jitter = 0.0;
+  SimWorld world(config);
+  auto a = std::make_unique<Recorder>();
+  auto b = std::make_unique<Recorder>();
+  Recorder* ra = a.get();
+  Recorder* rb = b.get();
+  world.add_node(std::move(a), MachineSpec{}, net::EntityKind::Daemon);
+  const auto stub_b =
+      world.add_node(std::move(b), MachineSpec{}, net::EntityKind::Daemon);
+  world.schedule_global(0.0, [&] {
+    net::Message small;
+    small.type = Ping::kType;
+    small.body = serial::encode(Ping{1});
+    net::Message big = small;
+    big.body.resize(1000000);  // ~1MB
+    ra->env_->send(stub_b, big);
+    ra->env_->send(stub_b, small);
+  });
+  world.run();
+  ASSERT_EQ(rb->receive_times.size(), 2u);
+  // The small message, although sent second, must arrive first.
+  EXPECT_LT(rb->receive_times[0], rb->receive_times[1]);
+}
+
+}  // namespace
+}  // namespace jacepp::sim

@@ -1,0 +1,57 @@
+#include "support/expected.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace jacepp {
+namespace {
+
+Expected<int> parse_positive(int x) {
+  if (x <= 0) return fail("not positive");
+  return x;
+}
+
+TEST(Expected, ValueState) {
+  auto r = parse_positive(5);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r.value(), 5);
+  EXPECT_EQ(*r, 5);
+}
+
+TEST(Expected, ErrorState) {
+  auto r = parse_positive(-1);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error().message, "not positive");
+}
+
+TEST(Expected, ValueOr) {
+  EXPECT_EQ(parse_positive(3).value_or(99), 3);
+  EXPECT_EQ(parse_positive(-3).value_or(99), 99);
+}
+
+TEST(Expected, ArrowOperator) {
+  Expected<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(Expected, MoveOutValue) {
+  Expected<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ExpectedVoid, SuccessByDefault) {
+  Status ok;
+  EXPECT_TRUE(ok.has_value());
+  EXPECT_TRUE(static_cast<bool>(ok));
+}
+
+TEST(ExpectedVoid, CarriesError) {
+  Status bad = fail("boom");
+  EXPECT_FALSE(bad.has_value());
+  EXPECT_EQ(bad.error().message, "boom");
+}
+
+}  // namespace
+}  // namespace jacepp

@@ -1,0 +1,104 @@
+#include "support/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jacepp {
+namespace {
+
+TEST(Flags, DefaultsApplyWithoutTokens) {
+  FlagSet flags("t", "test");
+  auto n = flags.add_int("n", 240, "grid");
+  auto ratio = flags.add_double("ratio", 0.5, "ratio");
+  auto verbose = flags.add_bool("verbose", false, "verbosity");
+  auto name = flags.add_string("name", "poisson", "program");
+  std::string error;
+  EXPECT_TRUE(flags.parse_tokens({}, &error)) << error;
+  EXPECT_EQ(*n, 240);
+  EXPECT_DOUBLE_EQ(*ratio, 0.5);
+  EXPECT_FALSE(*verbose);
+  EXPECT_EQ(*name, "poisson");
+}
+
+TEST(Flags, EqualsSyntax) {
+  FlagSet flags("t", "test");
+  auto n = flags.add_int("n", 0, "grid");
+  std::string error;
+  EXPECT_TRUE(flags.parse_tokens({"--n=512"}, &error)) << error;
+  EXPECT_EQ(*n, 512);
+}
+
+TEST(Flags, SpaceSyntax) {
+  FlagSet flags("t", "test");
+  auto seed = flags.add_uint("seed", 0, "seed");
+  std::string error;
+  EXPECT_TRUE(flags.parse_tokens({"--seed", "12345"}, &error)) << error;
+  EXPECT_EQ(*seed, 12345u);
+}
+
+TEST(Flags, BareBooleanSetsTrue) {
+  FlagSet flags("t", "test");
+  auto v = flags.add_bool("verbose", false, "verbosity");
+  std::string error;
+  EXPECT_TRUE(flags.parse_tokens({"--verbose"}, &error)) << error;
+  EXPECT_TRUE(*v);
+}
+
+TEST(Flags, BooleanExplicitValues) {
+  FlagSet flags("t", "test");
+  auto v = flags.add_bool("verbose", true, "verbosity");
+  std::string error;
+  EXPECT_TRUE(flags.parse_tokens({"--verbose=false"}, &error)) << error;
+  EXPECT_FALSE(*v);
+  EXPECT_TRUE(flags.parse_tokens({"--verbose=1"}, &error)) << error;
+  EXPECT_TRUE(*v);
+}
+
+TEST(Flags, UnknownFlagRejected) {
+  FlagSet flags("t", "test");
+  std::string error;
+  EXPECT_FALSE(flags.parse_tokens({"--bogus=1"}, &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+}
+
+TEST(Flags, MissingValueRejected) {
+  FlagSet flags("t", "test");
+  flags.add_int("n", 0, "grid");
+  std::string error;
+  EXPECT_FALSE(flags.parse_tokens({"--n"}, &error));
+}
+
+TEST(Flags, MalformedNumberRejected) {
+  FlagSet flags("t", "test");
+  flags.add_int("n", 0, "grid");
+  std::string error;
+  EXPECT_FALSE(flags.parse_tokens({"--n=abc"}, &error));
+}
+
+TEST(Flags, PositionalArgumentRejected) {
+  FlagSet flags("t", "test");
+  std::string error;
+  EXPECT_FALSE(flags.parse_tokens({"positional"}, &error));
+}
+
+TEST(Flags, NegativeNumbers) {
+  FlagSet flags("t", "test");
+  auto n = flags.add_int("n", 0, "grid");
+  auto x = flags.add_double("x", 0.0, "value");
+  std::string error;
+  EXPECT_TRUE(flags.parse_tokens({"--n=-7", "--x=-2.5"}, &error)) << error;
+  EXPECT_EQ(*n, -7);
+  EXPECT_DOUBLE_EQ(*x, -2.5);
+}
+
+TEST(Flags, UsageMentionsEveryFlag) {
+  FlagSet flags("prog", "description");
+  flags.add_int("alpha", 1, "first");
+  flags.add_string("beta", "x", "second");
+  const std::string usage = flags.usage();
+  EXPECT_NE(usage.find("alpha"), std::string::npos);
+  EXPECT_NE(usage.find("beta"), std::string::npos);
+  EXPECT_NE(usage.find("description"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jacepp

@@ -1,0 +1,94 @@
+#include "support/queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace jacepp {
+namespace {
+
+TEST(BlockingQueue, PushPopSingleThread) {
+  BlockingQueue<int> q;
+  EXPECT_TRUE(q.push(1));
+  EXPECT_TRUE(q.push(2));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(BlockingQueue, TryPopEmpty) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.try_pop().has_value());
+  q.push(5);
+  EXPECT_EQ(q.try_pop().value(), 5);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BlockingQueue, PopUntilTimesOut) {
+  BlockingQueue<int> q;
+  const auto start = std::chrono::steady_clock::now();
+  const auto result =
+      q.pop_until(start + std::chrono::milliseconds(30));
+  EXPECT_FALSE(result.has_value());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(25));
+}
+
+TEST(BlockingQueue, CloseWakesBlockedPopper) {
+  BlockingQueue<int> q;
+  std::atomic<bool> woke{false};
+  std::thread t([&] {
+    const auto v = q.pop();
+    EXPECT_FALSE(v.has_value());
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  t.join();
+  EXPECT_TRUE(woke);
+}
+
+TEST(BlockingQueue, PushAfterCloseFails) {
+  BlockingQueue<int> q;
+  q.close();
+  EXPECT_FALSE(q.push(1));
+}
+
+TEST(BlockingQueue, DrainsRemainingItemsAfterClose) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.close();
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BlockingQueue, ManyProducersOneConsumer) {
+  BlockingQueue<int> q;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q] {
+      for (int i = 0; i < kPerProducer; ++i) q.push(i);
+    });
+  }
+  int received = 0;
+  long long sum = 0;
+  while (received < kProducers * kPerProducer) {
+    const auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    sum += *v;
+    ++received;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(sum, static_cast<long long>(kProducers) * kPerProducer *
+                     (kPerProducer - 1) / 2);
+}
+
+}  // namespace
+}  // namespace jacepp
