@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_backup_peers.dir/bench_backup_peers.cpp.o"
+  "CMakeFiles/bench_backup_peers.dir/bench_backup_peers.cpp.o.d"
+  "bench_backup_peers"
+  "bench_backup_peers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_backup_peers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

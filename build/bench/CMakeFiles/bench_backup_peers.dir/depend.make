@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_backup_peers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checkpoint_freq.dir/bench_checkpoint_freq.cpp.o"
+  "CMakeFiles/bench_checkpoint_freq.dir/bench_checkpoint_freq.cpp.o.d"
+  "bench_checkpoint_freq"
+  "bench_checkpoint_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checkpoint_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ratio.dir/bench_ratio.cpp.o"
+  "CMakeFiles/bench_ratio.dir/bench_ratio.cpp.o.d"
+  "bench_ratio"
+  "bench_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

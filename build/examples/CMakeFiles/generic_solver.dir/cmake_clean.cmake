@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_solver.dir/generic_solver.cpp.o"
+  "CMakeFiles/generic_solver.dir/generic_solver.cpp.o.d"
+  "generic_solver"
+  "generic_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

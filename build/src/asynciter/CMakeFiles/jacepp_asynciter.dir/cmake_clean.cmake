@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacepp_asynciter.dir/multisplit.cpp.o"
+  "CMakeFiles/jacepp_asynciter.dir/multisplit.cpp.o.d"
+  "libjacepp_asynciter.a"
+  "libjacepp_asynciter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacepp_asynciter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for jacepp_asynciter.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/app.cpp" "src/core/CMakeFiles/jacepp_core.dir/app.cpp.o" "gcc" "src/core/CMakeFiles/jacepp_core.dir/app.cpp.o.d"
+  "/root/repo/src/core/daemon.cpp" "src/core/CMakeFiles/jacepp_core.dir/daemon.cpp.o" "gcc" "src/core/CMakeFiles/jacepp_core.dir/daemon.cpp.o.d"
+  "/root/repo/src/core/deployment.cpp" "src/core/CMakeFiles/jacepp_core.dir/deployment.cpp.o" "gcc" "src/core/CMakeFiles/jacepp_core.dir/deployment.cpp.o.d"
+  "/root/repo/src/core/deployment_rt.cpp" "src/core/CMakeFiles/jacepp_core.dir/deployment_rt.cpp.o" "gcc" "src/core/CMakeFiles/jacepp_core.dir/deployment_rt.cpp.o.d"
+  "/root/repo/src/core/generic_task.cpp" "src/core/CMakeFiles/jacepp_core.dir/generic_task.cpp.o" "gcc" "src/core/CMakeFiles/jacepp_core.dir/generic_task.cpp.o.d"
+  "/root/repo/src/core/spawner.cpp" "src/core/CMakeFiles/jacepp_core.dir/spawner.cpp.o" "gcc" "src/core/CMakeFiles/jacepp_core.dir/spawner.cpp.o.d"
+  "/root/repo/src/core/super_peer.cpp" "src/core/CMakeFiles/jacepp_core.dir/super_peer.cpp.o" "gcc" "src/core/CMakeFiles/jacepp_core.dir/super_peer.cpp.o.d"
+  "/root/repo/src/core/task.cpp" "src/core/CMakeFiles/jacepp_core.dir/task.cpp.o" "gcc" "src/core/CMakeFiles/jacepp_core.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/jacepp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jacepp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/jacepp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/asynciter/CMakeFiles/jacepp_asynciter.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/jacepp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jacepp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacepp_core.dir/app.cpp.o"
+  "CMakeFiles/jacepp_core.dir/app.cpp.o.d"
+  "CMakeFiles/jacepp_core.dir/daemon.cpp.o"
+  "CMakeFiles/jacepp_core.dir/daemon.cpp.o.d"
+  "CMakeFiles/jacepp_core.dir/deployment.cpp.o"
+  "CMakeFiles/jacepp_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/jacepp_core.dir/deployment_rt.cpp.o"
+  "CMakeFiles/jacepp_core.dir/deployment_rt.cpp.o.d"
+  "CMakeFiles/jacepp_core.dir/generic_task.cpp.o"
+  "CMakeFiles/jacepp_core.dir/generic_task.cpp.o.d"
+  "CMakeFiles/jacepp_core.dir/spawner.cpp.o"
+  "CMakeFiles/jacepp_core.dir/spawner.cpp.o.d"
+  "CMakeFiles/jacepp_core.dir/super_peer.cpp.o"
+  "CMakeFiles/jacepp_core.dir/super_peer.cpp.o.d"
+  "CMakeFiles/jacepp_core.dir/task.cpp.o"
+  "CMakeFiles/jacepp_core.dir/task.cpp.o.d"
+  "libjacepp_core.a"
+  "libjacepp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacepp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

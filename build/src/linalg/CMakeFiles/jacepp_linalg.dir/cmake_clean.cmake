@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacepp_linalg.dir/cg.cpp.o"
+  "CMakeFiles/jacepp_linalg.dir/cg.cpp.o.d"
+  "CMakeFiles/jacepp_linalg.dir/csr.cpp.o"
+  "CMakeFiles/jacepp_linalg.dir/csr.cpp.o.d"
+  "CMakeFiles/jacepp_linalg.dir/partition.cpp.o"
+  "CMakeFiles/jacepp_linalg.dir/partition.cpp.o.d"
+  "CMakeFiles/jacepp_linalg.dir/splitting.cpp.o"
+  "CMakeFiles/jacepp_linalg.dir/splitting.cpp.o.d"
+  "CMakeFiles/jacepp_linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/jacepp_linalg.dir/vector_ops.cpp.o.d"
+  "libjacepp_linalg.a"
+  "libjacepp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacepp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacepp_net.dir/stub.cpp.o"
+  "CMakeFiles/jacepp_net.dir/stub.cpp.o.d"
+  "libjacepp_net.a"
+  "libjacepp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacepp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjacepp_net.a"
+)

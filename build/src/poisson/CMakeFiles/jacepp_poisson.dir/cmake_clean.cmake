@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacepp_poisson.dir/block_task.cpp.o"
+  "CMakeFiles/jacepp_poisson.dir/block_task.cpp.o.d"
+  "CMakeFiles/jacepp_poisson.dir/poisson.cpp.o"
+  "CMakeFiles/jacepp_poisson.dir/poisson.cpp.o.d"
+  "libjacepp_poisson.a"
+  "libjacepp_poisson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacepp_poisson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

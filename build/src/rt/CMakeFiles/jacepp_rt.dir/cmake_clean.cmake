@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacepp_rt.dir/runtime.cpp.o"
+  "CMakeFiles/jacepp_rt.dir/runtime.cpp.o.d"
+  "libjacepp_rt.a"
+  "libjacepp_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacepp_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacepp_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/jacepp_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/jacepp_sim.dir/machine.cpp.o"
+  "CMakeFiles/jacepp_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/jacepp_sim.dir/world.cpp.o"
+  "CMakeFiles/jacepp_sim.dir/world.cpp.o.d"
+  "libjacepp_sim.a"
+  "libjacepp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacepp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacepp_support.dir/flags.cpp.o"
+  "CMakeFiles/jacepp_support.dir/flags.cpp.o.d"
+  "CMakeFiles/jacepp_support.dir/logging.cpp.o"
+  "CMakeFiles/jacepp_support.dir/logging.cpp.o.d"
+  "CMakeFiles/jacepp_support.dir/rng.cpp.o"
+  "CMakeFiles/jacepp_support.dir/rng.cpp.o.d"
+  "CMakeFiles/jacepp_support.dir/stats.cpp.o"
+  "CMakeFiles/jacepp_support.dir/stats.cpp.o.d"
+  "libjacepp_support.a"
+  "libjacepp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacepp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

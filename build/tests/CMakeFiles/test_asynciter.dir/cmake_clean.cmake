@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asynciter.dir/asynciter/test_convergence.cpp.o"
+  "CMakeFiles/test_asynciter.dir/asynciter/test_convergence.cpp.o.d"
+  "CMakeFiles/test_asynciter.dir/asynciter/test_multisplit.cpp.o"
+  "CMakeFiles/test_asynciter.dir/asynciter/test_multisplit.cpp.o.d"
+  "test_asynciter"
+  "test_asynciter.pdb"
+  "test_asynciter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asynciter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

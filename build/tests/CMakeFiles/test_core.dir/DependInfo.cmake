@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_app.cpp" "tests/CMakeFiles/test_core.dir/core/test_app.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_app.cpp.o.d"
+  "/root/repo/tests/core/test_daemon_backup.cpp" "tests/CMakeFiles/test_core.dir/core/test_daemon_backup.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_daemon_backup.cpp.o.d"
+  "/root/repo/tests/core/test_generic_task.cpp" "tests/CMakeFiles/test_core.dir/core/test_generic_task.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_generic_task.cpp.o.d"
+  "/root/repo/tests/core/test_scenarios.cpp" "tests/CMakeFiles/test_core.dir/core/test_scenarios.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_scenarios.cpp.o.d"
+  "/root/repo/tests/core/test_spawner.cpp" "tests/CMakeFiles/test_core.dir/core/test_spawner.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_spawner.cpp.o.d"
+  "/root/repo/tests/core/test_super_peer.cpp" "tests/CMakeFiles/test_core.dir/core/test_super_peer.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_super_peer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/poisson/CMakeFiles/jacepp_poisson.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jacepp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/asynciter/CMakeFiles/jacepp_asynciter.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/jacepp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jacepp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jacepp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/jacepp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jacepp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_app.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_app.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_daemon_backup.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_daemon_backup.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_generic_task.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_generic_task.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_scenarios.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_scenarios.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_spawner.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_spawner.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_super_peer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_super_peer.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_rt.dir/core/test_integration_rt.cpp.o"
+  "CMakeFiles/test_integration_rt.dir/core/test_integration_rt.cpp.o.d"
+  "test_integration_rt"
+  "test_integration_rt.pdb"
+  "test_integration_rt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_integration_sim.cpp" "tests/CMakeFiles/test_integration_sim.dir/core/test_integration_sim.cpp.o" "gcc" "tests/CMakeFiles/test_integration_sim.dir/core/test_integration_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/poisson/CMakeFiles/jacepp_poisson.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/jacepp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/asynciter/CMakeFiles/jacepp_asynciter.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/jacepp_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jacepp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/jacepp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/jacepp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/jacepp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
