@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Run the substrate microbenchmarks and record the perf trajectory.
+#
+# Builds (if needed) and runs bench_micro twice — serial (JACEPP_THREADS=1)
+# and parallel (JACEPP_THREADS=$THREADS, default 4) — and merges both
+# google-benchmark JSON documents into $OUT so speedups are recorded
+# side by side.
+#
+# Usage:
+#   bench/run_bench.sh                 # writes BENCH_micro.json in the repo root
+#   THREADS=8 OUT=/tmp/b.json bench/run_bench.sh
+#   BENCH_FILTER='BM_SpMV|BM_ConjugateGradient' bench/run_bench.sh
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
+OUT="${OUT:-${REPO_ROOT}/BENCH_micro.json}"
+THREADS="${THREADS:-4}"
+BENCH_FILTER="${BENCH_FILTER:-.}"
+
+if [[ ! -x "${BUILD_DIR}/bench/bench_micro" ]]; then
+  cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
+  cmake --build "${BUILD_DIR}" --target bench_micro -j
+fi
+
+serial_json="$(mktemp)"
+parallel_json="$(mktemp)"
+trap 'rm -f "${serial_json}" "${parallel_json}"' EXIT
+
+echo "== bench_micro serial (JACEPP_THREADS=1) =="
+JACEPP_THREADS=1 "${BUILD_DIR}/bench/bench_micro" \
+  --benchmark_filter="${BENCH_FILTER}" \
+  --benchmark_format=json > "${serial_json}"
+
+echo "== bench_micro parallel (JACEPP_THREADS=${THREADS}) =="
+JACEPP_THREADS="${THREADS}" "${BUILD_DIR}/bench/bench_micro" \
+  --benchmark_filter="${BENCH_FILTER}" \
+  --benchmark_format=json > "${parallel_json}"
+
+jq -n \
+  --slurpfile serial "${serial_json}" \
+  --slurpfile parallel "${parallel_json}" \
+  --argjson threads "${THREADS}" \
+  '{threads: $threads, serial: $serial[0], parallel: $parallel[0]}' > "${OUT}"
+
+echo "wrote ${OUT}"
+jq -r '
+  ((.serial.benchmarks // []) | map({(.name): .real_time}) | add // {}) as $s |
+  ((.parallel.benchmarks // []) | map({(.name): .real_time}) | add // {}) as $p |
+  $s | keys[] | select($p[.] != null) |
+  "\(.): serial \($s[.] | floor)ns  parallel \($p[.] | floor)ns  speedup \(($s[.] / $p[.] * 100 | floor) / 100)x"
+' "${OUT}"

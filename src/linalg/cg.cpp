@@ -28,11 +28,11 @@ CgResult conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
   Vector r(n), z(n), p(n), ap(n);
   a.multiply(x, ap);
   result.flops += nnz_work;
-  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ap[i];
+  residual(b, ap, r);
 
   auto apply_precond = [&](const Vector& rin, Vector& zout) {
     if (options.jacobi_preconditioner) {
-      for (std::size_t i = 0; i < n; ++i) zout[i] = inv_diag[i] * rin[i];
+      hadamard(inv_diag, rin, zout);
       result.flops += vec_work;
     } else {
       zout = rin;
@@ -80,7 +80,7 @@ CgResult conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
     const double rz_next = dot(r, z);
     const double beta = rz_next / rz;
     rz = rz_next;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    axpby(1.0, z, beta, p);  // p = z + beta * p (1.0 * z is exact)
     result.flops += 4.0 * vec_work;
   }
 

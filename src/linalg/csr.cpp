@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/assert.hpp"
+#include "support/thread_pool.hpp"
 
 namespace jacepp::linalg {
 
@@ -36,13 +37,21 @@ void CsrMatrix::multiply(const Vector& x, Vector& y) const {
 void CsrMatrix::multiply_add(const Vector& x, Vector& y) const {
   JACEPP_ASSERT(x.size() == cols_);
   JACEPP_ASSERT(y.size() == rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    for (std::uint32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      acc += values_[k] * x[col_idx_[k]];
-    }
-    y[r] += acc;
-  }
+  const std::uint32_t* row_ptr = row_ptr_.data();
+  const std::uint32_t* col_idx = col_idx_.data();
+  const double* values = values_.data();
+  const double* xs = x.data();
+  double* ys = y.data();
+  compute_pool().parallel_for(
+      0, rows_, kSpmvRowGrain, [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          double acc = 0.0;
+          for (std::uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+            acc += values[k] * xs[col_idx[k]];
+          }
+          ys[r] += acc;
+        }
+      });
 }
 
 Vector CsrMatrix::diagonal() const {
@@ -74,14 +83,22 @@ void CsrMatrix::off_block_multiply_add(std::size_t row_lo, std::size_t row_hi,
   JACEPP_ASSERT(row_lo <= row_hi && row_hi <= rows_);
   JACEPP_ASSERT(x_global.size() == cols_);
   JACEPP_ASSERT(y_local.size() == row_hi - row_lo);
-  for (std::size_t r = row_lo; r < row_hi; ++r) {
-    double acc = 0.0;
-    for (std::uint32_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const std::uint32_t c = col_idx_[k];
-      if (c < col_lo || c >= col_hi) acc += values_[k] * x_global[c];
-    }
-    y_local[r - row_lo] += acc;
-  }
+  const std::uint32_t* row_ptr = row_ptr_.data();
+  const std::uint32_t* col_idx = col_idx_.data();
+  const double* values = values_.data();
+  const double* xs = x_global.data();
+  double* ys = y_local.data();
+  compute_pool().parallel_for(
+      row_lo, row_hi, kSpmvRowGrain, [=](std::size_t lo, std::size_t hi) {
+        for (std::size_t r = lo; r < hi; ++r) {
+          double acc = 0.0;
+          for (std::uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+            const std::uint32_t c = col_idx[k];
+            if (c < col_lo || c >= col_hi) acc += values[k] * xs[c];
+          }
+          ys[r - row_lo] += acc;
+        }
+      });
 }
 
 CsrMatrix CsrMatrix::transpose() const {

@@ -10,6 +10,12 @@
 
 namespace jacepp::linalg {
 
+/// Rows per parallel SpMV chunk (see support/thread_pool.hpp for the
+/// determinism contract); matrices shorter than this always run serially.
+/// Sized so a chunk is several microseconds of work on a ~5 nnz/row stencil —
+/// below that, pool dispatch dominates the row loop.
+inline constexpr std::size_t kSpmvRowGrain = 1024;
+
 /// Immutable CSR sparse matrix (row-major). Build via CsrBuilder.
 class CsrMatrix {
  public:

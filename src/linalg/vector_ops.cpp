@@ -1,71 +1,141 @@
 #include "linalg/vector_ops.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/assert.hpp"
+#include "support/thread_pool.hpp"
 
 namespace jacepp::linalg {
 
 void axpy(double alpha, const Vector& x, Vector& y) {
   JACEPP_ASSERT(x.size() == y.size());
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  const double* xs = x.data();
+  double* ys = y.data();
+  compute_pool().parallel_for(0, x.size(), kVectorOpGrain,
+                              [=](std::size_t lo, std::size_t hi) {
+                                for (std::size_t i = lo; i < hi; ++i) {
+                                  ys[i] += alpha * xs[i];
+                                }
+                              });
 }
 
 void axpby(double alpha, const Vector& x, double beta, Vector& y) {
   JACEPP_ASSERT(x.size() == y.size());
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) y[i] = alpha * x[i] + beta * y[i];
+  const double* xs = x.data();
+  double* ys = y.data();
+  compute_pool().parallel_for(0, x.size(), kVectorOpGrain,
+                              [=](std::size_t lo, std::size_t hi) {
+                                for (std::size_t i = lo; i < hi; ++i) {
+                                  ys[i] = alpha * xs[i] + beta * ys[i];
+                                }
+                              });
 }
 
 double dot(const Vector& x, const Vector& y) {
   JACEPP_ASSERT(x.size() == y.size());
-  double acc = 0.0;
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
-  return acc;
+  const double* xs = x.data();
+  const double* ys = y.data();
+  return compute_pool().parallel_reduce(
+      0, x.size(), kVectorOpGrain, 0.0,
+      [=](std::size_t lo, std::size_t hi) {
+        double acc = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) acc += xs[i] * ys[i];
+        return acc;
+      },
+      [](double a, double b) { return a + b; });
 }
 
 double norm2(const Vector& x) { return std::sqrt(dot(x, x)); }
 
 double norm_inf(const Vector& x) {
-  double m = 0.0;
-  for (double v : x) m = std::max(m, std::fabs(v));
-  return m;
+  const double* xs = x.data();
+  return compute_pool().parallel_reduce(
+      0, x.size(), kVectorOpGrain, 0.0,
+      [=](std::size_t lo, std::size_t hi) {
+        double m = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) m = std::max(m, std::fabs(xs[i]));
+        return m;
+      },
+      [](double a, double b) { return std::max(a, b); });
 }
 
 double distance2(const Vector& x, const Vector& y) {
   JACEPP_ASSERT(x.size() == y.size());
-  double acc = 0.0;
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const double d = x[i] - y[i];
-    acc += d * d;
-  }
+  const double* xs = x.data();
+  const double* ys = y.data();
+  const double acc = compute_pool().parallel_reduce(
+      0, x.size(), kVectorOpGrain, 0.0,
+      [=](std::size_t lo, std::size_t hi) {
+        double partial = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double d = xs[i] - ys[i];
+          partial += d * d;
+        }
+        return partial;
+      },
+      [](double a, double b) { return a + b; });
   return std::sqrt(acc);
 }
 
 double distance_inf(const Vector& x, const Vector& y) {
   JACEPP_ASSERT(x.size() == y.size());
-  double m = 0.0;
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) m = std::max(m, std::fabs(x[i] - y[i]));
-  return m;
+  const double* xs = x.data();
+  const double* ys = y.data();
+  return compute_pool().parallel_reduce(
+      0, x.size(), kVectorOpGrain, 0.0,
+      [=](std::size_t lo, std::size_t hi) {
+        double m = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          m = std::max(m, std::fabs(xs[i] - ys[i]));
+        }
+        return m;
+      },
+      [](double a, double b) { return std::max(a, b); });
+}
+
+void hadamard(const Vector& x, const Vector& y, Vector& out) {
+  JACEPP_ASSERT(x.size() == y.size());
+  out.resize(x.size());
+  const double* xs = x.data();
+  const double* ys = y.data();
+  double* os = out.data();
+  compute_pool().parallel_for(0, x.size(), kVectorOpGrain,
+                              [=](std::size_t lo, std::size_t hi) {
+                                for (std::size_t i = lo; i < hi; ++i) {
+                                  os[i] = xs[i] * ys[i];
+                                }
+                              });
 }
 
 void scale(Vector& x, double alpha) {
-  for (double& v : x) v *= alpha;
+  double* xs = x.data();
+  compute_pool().parallel_for(0, x.size(), kVectorOpGrain,
+                              [=](std::size_t lo, std::size_t hi) {
+                                for (std::size_t i = lo; i < hi; ++i) xs[i] *= alpha;
+                              });
 }
 
 void fill(Vector& x, double value) {
-  for (double& v : x) v = value;
+  double* xs = x.data();
+  compute_pool().parallel_for(0, x.size(), kVectorOpGrain,
+                              [=](std::size_t lo, std::size_t hi) {
+                                for (std::size_t i = lo; i < hi; ++i) xs[i] = value;
+                              });
 }
 
 void residual(const Vector& b, const Vector& ax, Vector& r) {
   JACEPP_ASSERT(b.size() == ax.size());
   r.resize(b.size());
-  const std::size_t n = b.size();
-  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - ax[i];
+  const double* bs = b.data();
+  const double* as = ax.data();
+  double* rs = r.data();
+  compute_pool().parallel_for(0, b.size(), kVectorOpGrain,
+                              [=](std::size_t lo, std::size_t hi) {
+                                for (std::size_t i = lo; i < hi; ++i) {
+                                  rs[i] = bs[i] - as[i];
+                                }
+                              });
 }
 
 }  // namespace jacepp::linalg

@@ -1,5 +1,11 @@
 // Dense vector kernels. Vectors are plain std::vector<double>; these free
 // functions provide the BLAS-1 level operations the solvers need.
+//
+// Every kernel runs through compute_pool() (support/thread_pool.hpp): serial
+// and bit-identical to a plain loop when the pool size is 1, chunked across
+// workers in units of kVectorOpGrain elements otherwise. Reductions merge
+// their chunk partials in index order, so a given pool size >= 2 always
+// reproduces the same floating-point result.
 #pragma once
 
 #include <cstddef>
@@ -8,6 +14,9 @@
 namespace jacepp::linalg {
 
 using Vector = std::vector<double>;
+
+/// Elements per parallel chunk: ranges shorter than this always run serially.
+inline constexpr std::size_t kVectorOpGrain = 4096;
 
 /// y += alpha * x  (sizes must match).
 void axpy(double alpha, const Vector& x, Vector& y);
@@ -29,6 +38,9 @@ double distance2(const Vector& x, const Vector& y);
 
 /// ||x - y||_inf.
 double distance_inf(const Vector& x, const Vector& y);
+
+/// out[i] = x[i] * y[i] (sizes must match; out is resized).
+void hadamard(const Vector& x, const Vector& y, Vector& out);
 
 /// x *= alpha.
 void scale(Vector& x, double alpha);

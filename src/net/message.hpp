@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 
 #include "net/stub.hpp"
@@ -12,10 +13,43 @@ namespace jacepp::net {
 
 using MessageType = std::uint32_t;
 
+/// Immutable, reference-counted message body. Copying a Message — checkpoint
+/// fan-out to several backup peers, capture into the sim event queue, rt
+/// mailbox hops — shares one underlying buffer instead of duplicating
+/// checkpoint-sized payloads. The bytes are frozen at construction, so a
+/// payload may be read concurrently from any number of runtime threads.
+class Payload {
+ public:
+  Payload() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): Bytes -> Payload is the
+  // intended seam; every encode() call site keeps reading naturally.
+  Payload(serial::Bytes bytes)
+      : data_(std::make_shared<const serial::Bytes>(std::move(bytes))) {}
+
+  [[nodiscard]] const serial::Bytes& bytes() const {
+    static const serial::Bytes kEmpty;
+    return data_ ? *data_ : kEmpty;
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  operator const serial::Bytes&() const { return bytes(); }
+
+  [[nodiscard]] std::size_t size() const { return data_ ? data_->size() : 0; }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// True when both payloads reference the same underlying buffer — the
+  /// zero-copy invariant tests assert on.
+  [[nodiscard]] bool shares_buffer_with(const Payload& other) const {
+    return data_ != nullptr && data_ == other.data_;
+  }
+
+ private:
+  std::shared_ptr<const serial::Bytes> data_;
+};
+
 struct Message {
   MessageType type = 0;
   Stub from;                ///< sender stub (filled by the sending Env)
-  serial::Bytes body;       ///< serialized payload
+  Payload body;             ///< serialized payload (shared, immutable)
 
   /// Size in bytes on the wire, used by the simulator's bandwidth model.
   /// Envelope overhead approximates a small RMI/TCP header.
@@ -36,7 +70,7 @@ Message make_message(const T& payload) {
 template <typename T>
 T payload_of(const Message& m) {
   JACEPP_CHECK(m.type == T::kType, "payload_of: message type mismatch");
-  return serial::decode<T>(m.body);
+  return serial::decode<T>(m.body.bytes());
 }
 
 }  // namespace jacepp::net

@@ -6,6 +6,7 @@
 #include "poisson/poisson.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace jacepp::poisson {
 
@@ -130,18 +131,35 @@ double PoissonTask::iterate() {
   last_solve_converged_ = cg.converged;
   sent_since_last_solve_ = false;
 
-  // Relative change of the OWNED components — the published iterate.
+  // Relative change of the OWNED components — the published iterate. Fused
+  // map+reduce: each chunk updates its disjoint owned_prev_ slice while
+  // accumulating both sums.
+  struct DiffNorm {
+    double diff2 = 0.0;
+    double norm2 = 0.0;
+  };
   const std::size_t off = block_.owned_offset();
-  double diff2 = 0.0;
-  double norm2 = 0.0;
-  for (std::size_t i = 0; i < block_.owned_size(); ++i) {
-    const double v = x_ext_[off + i];
-    const double d = v - owned_prev_[i];
-    diff2 += d * d;
-    norm2 += v * v;
-    owned_prev_[i] = v;
-  }
-  local_error_ = std::sqrt(diff2) / std::max(std::sqrt(norm2), 1e-300);
+  const double* x_ext = x_ext_.data();
+  double* prev = owned_prev_.data();
+  const DiffNorm dn = compute_pool().parallel_reduce(
+      0, block_.owned_size(), linalg::kVectorOpGrain, DiffNorm{},
+      [=](std::size_t lo, std::size_t hi) {
+        DiffNorm partial;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double v = x_ext[off + i];
+          const double d = v - prev[i];
+          partial.diff2 += d * d;
+          partial.norm2 += v * v;
+          prev[i] = v;
+        }
+        return partial;
+      },
+      [](DiffNorm a, const DiffNorm& b) {
+        a.diff2 += b.diff2;
+        a.norm2 += b.norm2;
+        return a;
+      });
+  local_error_ = std::sqrt(dn.diff2) / std::max(std::sqrt(dn.norm2), 1e-300);
 
   ++iterations_done_;
   // The very first iteration is informative too: it moves x off the initial

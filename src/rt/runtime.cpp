@@ -131,11 +131,9 @@ bool ThreadRuntime::wait_node(net::NodeId node, double timeout_seconds) {
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::microseconds(static_cast<std::int64_t>(timeout_seconds * 1e6));
-  while (!worker->exited.load()) {
-    if (std::chrono::steady_clock::now() >= deadline) return false;
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
-  return true;
+  std::unique_lock<std::mutex> lock(exit_mutex_);
+  return exit_cv_.wait_until(lock, deadline,
+                             [worker] { return worker->exited.load(); });
 }
 
 void ThreadRuntime::shutdown_all() {
@@ -219,7 +217,13 @@ void ThreadRuntime::worker_loop(Worker* worker) {
   const bool graceful = worker->stop_requested && !worker->crashed;
   worker->up.store(false);
   if (graceful) worker->actor->on_stop(env);
-  worker->exited.store(true);
+  {
+    // Publish under the lock so a wait_node() predicate check cannot slip
+    // between the store and the notify.
+    std::lock_guard<std::mutex> lock(exit_mutex_);
+    worker->exited.store(true);
+  }
+  exit_cv_.notify_all();
 }
 
 }  // namespace jacepp::rt

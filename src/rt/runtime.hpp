@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -111,6 +112,10 @@ class ThreadRuntime {
   std::atomic<net::TimerId> next_timer_{1};
   mutable std::mutex registry_mutex_;
   std::unordered_map<net::NodeId, std::unique_ptr<Worker>> workers_;
+  // Shared by every worker's exit notification; wait_node blocks here instead
+  // of polling, so shutdown latency is wakeup-bound, not sleep-quantum-bound.
+  std::mutex exit_mutex_;
+  std::condition_variable exit_cv_;
   RtStats stats_;
 };
 

@@ -17,6 +17,7 @@
 // malformed input is always safe.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -81,19 +82,17 @@ class Writer {
   /// Vector of doubles: varint length + raw IEEE-754 payload.
   void f64_vector(const std::vector<double>& v) {
     varint(v.size());
-    const std::size_t old = buffer_.size();
-    buffer_.resize(old + v.size() * sizeof(double));
-    std::memcpy(buffer_.data() + old, v.data(), v.size() * sizeof(double));
+    append_le(v.data(), v.size());
   }
 
   void u32_vector(const std::vector<std::uint32_t>& v) {
     varint(v.size());
-    for (auto x : v) u32(x);
+    append_le(v.data(), v.size());
   }
 
   void u64_vector(const std::vector<std::uint64_t>& v) {
     varint(v.size());
-    for (auto x : v) u64(x);
+    append_le(v.data(), v.size());
   }
 
   /// Serialize any struct exposing serialize(Writer&).
@@ -113,6 +112,30 @@ class Writer {
   [[nodiscard]] std::size_t size() const { return buffer_.size(); }
 
  private:
+  /// Bulk little-endian append: one memcpy on little-endian hosts (the wire
+  /// format IS little-endian), element-wise byte shuffling otherwise.
+  template <typename T>
+  void append_le(const T* values, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if constexpr (std::endian::native == std::endian::little) {
+      const std::size_t old = buffer_.size();
+      buffer_.resize(old + count * sizeof(T));
+      std::memcpy(buffer_.data() + old, values, count * sizeof(T));
+    } else {
+      for (std::size_t i = 0; i < count; ++i) {
+        std::uint64_t bits;
+        if constexpr (std::is_same_v<T, double>) {
+          bits = std::bit_cast<std::uint64_t>(values[i]);
+        } else {
+          bits = static_cast<std::uint64_t>(values[i]);
+        }
+        for (std::size_t b = 0; b < sizeof(T); ++b) {
+          buffer_.push_back(static_cast<std::uint8_t>(bits >> (8 * b)));
+        }
+      }
+    }
+  }
+
   Bytes buffer_;
 };
 
@@ -201,39 +224,24 @@ class Reader {
   }
 
   Bytes bytes() {
-    std::uint64_t len = varint();
-    if (!ok_ || !require(len)) return {};
+    const std::uint64_t len = varint();
+    if (!ok_) return {};
+    // Clamp against the remaining payload BEFORE allocating: an adversarial
+    // length must poison the reader, not attempt a multi-gigabyte allocation.
+    if (len > remaining()) {
+      poison("bytes length exceeds payload");
+      return {};
+    }
     Bytes b(data_ + pos_, data_ + pos_ + len);
     pos_ += len;
     return b;
   }
 
-  std::vector<double> f64_vector() {
-    std::uint64_t len = varint();
-    if (!ok_ || !require(len * sizeof(double))) return {};
-    std::vector<double> v(len);
-    std::memcpy(v.data(), data_ + pos_, len * sizeof(double));
-    pos_ += len * sizeof(double);
-    return v;
-  }
+  std::vector<double> f64_vector() { return vector_le<double>(); }
 
-  std::vector<std::uint32_t> u32_vector() {
-    std::uint64_t len = varint();
-    if (!ok_ || !require(len * 4)) return {};
-    std::vector<std::uint32_t> v;
-    v.reserve(len);
-    for (std::uint64_t i = 0; i < len; ++i) v.push_back(u32());
-    return v;
-  }
+  std::vector<std::uint32_t> u32_vector() { return vector_le<std::uint32_t>(); }
 
-  std::vector<std::uint64_t> u64_vector() {
-    std::uint64_t len = varint();
-    if (!ok_ || !require(len * 8)) return {};
-    std::vector<std::uint64_t> v;
-    v.reserve(len);
-    for (std::uint64_t i = 0; i < len; ++i) v.push_back(u64());
-    return v;
-  }
+  std::vector<std::uint64_t> u64_vector() { return vector_le<std::uint64_t>(); }
 
   template <typename T>
   T object() {
@@ -256,6 +264,37 @@ class Reader {
   }
 
  private:
+  /// Bulk little-endian vector read shared by f64/u32/u64_vector: clamps the
+  /// claimed element count against the remaining payload (dividing, so the
+  /// byte count `len * sizeof(T)` can never wrap for adversarial lengths),
+  /// then decodes with a single memcpy on little-endian hosts.
+  template <typename T>
+  std::vector<T> vector_le() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t len = varint();
+    if (!ok_) return {};
+    if (len > remaining() / sizeof(T)) {
+      poison("vector length exceeds payload");
+      return {};
+    }
+    std::vector<T> v(static_cast<std::size_t>(len));
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(v.data(), data_ + pos_, v.size() * sizeof(T));
+      pos_ += v.size() * sizeof(T);
+    } else {
+      for (auto& e : v) {
+        if constexpr (std::is_same_v<T, double>) {
+          e = f64();
+        } else if constexpr (sizeof(T) == 4) {
+          e = u32();
+        } else {
+          e = u64();
+        }
+      }
+    }
+    return v;
+  }
+
   bool require(std::uint64_t n) {
     if (!ok_) return false;
     if (remaining() < n) {

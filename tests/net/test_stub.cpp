@@ -78,5 +78,26 @@ TEST(Message, WireSizeIncludesEnvelope) {
   EXPECT_GT(m.wire_size(), m.body.size());
 }
 
+TEST(Message, CopiesShareOneBodyBuffer) {
+  // The zero-copy invariant: forwarding a message through the router / event
+  // queue / mailboxes copies the envelope but never the payload bytes.
+  const auto m = make_message(Sample{42});
+  const Message forwarded = m;           // router copy
+  const Message again = forwarded;       // second hop
+  EXPECT_TRUE(m.body.shares_buffer_with(forwarded.body));
+  EXPECT_TRUE(m.body.shares_buffer_with(again.body));
+  EXPECT_EQ(&m.body.bytes(), &again.body.bytes());
+  EXPECT_EQ(payload_of<Sample>(again).value, 42u);
+}
+
+TEST(Message, DefaultBodyIsEmptyAndUnshared) {
+  Payload a;
+  Payload b;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_FALSE(a.shares_buffer_with(b));  // no buffer at all
+  EXPECT_TRUE(a.bytes().empty());
+}
+
 }  // namespace
 }  // namespace jacepp::net

@@ -156,6 +156,72 @@ TEST(Serial, OverlongVarintPoisons) {
   EXPECT_FALSE(r.ok());
 }
 
+TEST(Serial, VectorLengthOverflowPoisons) {
+  // Adversarial length where len * sizeof(element) wraps a u64: before the
+  // clamp this passed require() with a tiny byte count and then attempted a
+  // huge allocation. (1 << 61) + 1 doubles "need" 8 bytes after wrapping.
+  const std::uint64_t wrapping = (1ULL << 61) + 1;
+  {
+    Writer w;
+    w.varint(wrapping);
+    for (int i = 0; i < 16; ++i) w.u8(0xee);
+    Reader r(w.data());
+    EXPECT_TRUE(r.f64_vector().empty());
+    EXPECT_FALSE(r.ok());
+  }
+  {
+    Writer w;
+    w.varint((1ULL << 62) + 2);  // * 4 wraps to 8
+    for (int i = 0; i < 16; ++i) w.u8(0xee);
+    Reader r(w.data());
+    EXPECT_TRUE(r.u32_vector().empty());
+    EXPECT_FALSE(r.ok());
+  }
+  {
+    Writer w;
+    w.varint((1ULL << 61) + 1);  // * 8 wraps to 8
+    for (int i = 0; i < 16; ++i) w.u8(0xee);
+    Reader r(w.data());
+    EXPECT_TRUE(r.u64_vector().empty());
+    EXPECT_FALSE(r.ok());
+  }
+}
+
+TEST(Serial, VectorLengthBeyondPayloadPoisonsWithoutAllocating) {
+  // A non-wrapping but absurd length (2^40 elements in a 10-byte buffer) must
+  // poison before the std::vector allocation is attempted.
+  Writer w;
+  w.varint(1ULL << 40);
+  w.u64(0);
+  w.u16(0);
+  Reader r(w.data());
+  EXPECT_TRUE(r.f64_vector().empty());
+  EXPECT_FALSE(r.ok());
+
+  Reader r2(w.data());
+  EXPECT_TRUE(r2.u32_vector().empty());
+  EXPECT_FALSE(r2.ok());
+}
+
+TEST(Serial, BytesLengthBeyondPayloadPoisons) {
+  Writer w;
+  w.varint(0xffffffffffffffffULL);
+  w.u8(1);
+  Reader r(w.data());
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serial, TruncatedVectorPayloadPoisons) {
+  // Length valid varint but fewer element bytes than claimed.
+  Writer w;
+  w.varint(3);         // claims 3 doubles = 24 bytes
+  w.f64(1.5);          // only one follows
+  Reader r(w.data());
+  EXPECT_TRUE(r.f64_vector().empty());
+  EXPECT_FALSE(r.ok());
+}
+
 TEST(Serial, ObjectVectorLengthSanityCheck) {
   // A crafted header claiming 2^40 elements must poison, not allocate.
   Writer w;

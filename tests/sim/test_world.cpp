@@ -289,7 +289,7 @@ TEST(SimWorld, BiggerMessagesTakeLonger) {
     small.type = Ping::kType;
     small.body = serial::encode(Ping{1});
     net::Message big = small;
-    big.body.resize(1000000);  // ~1MB
+    big.body = serial::Bytes(1000000);  // ~1MB
     ra->env_->send(stub_b, big);
     ra->env_->send(stub_b, small);
   });
