@@ -4,10 +4,11 @@
 # Builds (if needed) and runs bench_micro twice — serial (JACEPP_THREADS=1)
 # and parallel (JACEPP_THREADS=$THREADS, default 4) — and merges both
 # google-benchmark JSON documents into $OUT so speedups are recorded
-# side by side.
+# side by side. Then runs bench_checkpoint once and writes $CKPT_OUT with the
+# full-vs-delta frame sizes and timings (the incremental-checkpoint payoff).
 #
 # Usage:
-#   bench/run_bench.sh                 # writes BENCH_micro.json in the repo root
+#   bench/run_bench.sh                 # writes BENCH_micro.json + BENCH_checkpoint.json
 #   THREADS=8 OUT=/tmp/b.json bench/run_bench.sh
 #   BENCH_FILTER='BM_SpMV|BM_ConjugateGradient' bench/run_bench.sh
 set -euo pipefail
@@ -15,12 +16,13 @@ set -euo pipefail
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
 OUT="${OUT:-${REPO_ROOT}/BENCH_micro.json}"
+CKPT_OUT="${CKPT_OUT:-${REPO_ROOT}/BENCH_checkpoint.json}"
 THREADS="${THREADS:-4}"
 BENCH_FILTER="${BENCH_FILTER:-.}"
 
-if [[ ! -x "${BUILD_DIR}/bench/bench_micro" ]]; then
+if [[ ! -x "${BUILD_DIR}/bench/bench_micro" || ! -x "${BUILD_DIR}/bench/bench_checkpoint" ]]; then
   cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
-  cmake --build "${BUILD_DIR}" --target bench_micro -j
+  cmake --build "${BUILD_DIR}" --target bench_micro bench_checkpoint -j
 fi
 
 serial_json="$(mktemp)"
@@ -50,3 +52,17 @@ jq -r '
   $s | keys[] | select($p[.] != null) |
   "\(.): serial \($s[.] | floor)ns  parallel \($p[.] | floor)ns  speedup \(($s[.] / $p[.] * 100 | floor) / 100)x"
 ' "${OUT}"
+
+echo "== bench_checkpoint (full vs delta frames) =="
+"${BUILD_DIR}/bench/bench_checkpoint" \
+  --benchmark_format=json > "${CKPT_OUT}"
+
+echo "wrote ${CKPT_OUT}"
+jq -r '
+  .benchmarks[] |
+  if (.frame_bytes != null and .full_bytes != null) then
+    "\(.name): \(.real_time | floor)ns  frame \(.frame_bytes | floor)B  full \(.full_bytes | floor)B  ratio \((.frame_bytes / .full_bytes * 1000 | floor) / 1000)"
+  else
+    "\(.name): \(.real_time | floor)ns" + (if .frame_bytes != null then "  frame \(.frame_bytes | floor)B" else "" end)
+  end
+' "${CKPT_OUT}"

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.hpp"
 #include "net/stub.hpp"
 #include "serial/serial.hpp"
 
@@ -33,6 +34,10 @@ struct AppDescriptor {
   // Fault-tolerance policy (paper §5.4 / §7).
   std::uint32_t checkpoint_every = 5;    ///< jaceSave frequency, in iterations
   std::uint32_t backup_peer_count = 20;  ///< backup-peers per task
+  /// Delta-checkpoint framing and adaptive-interval knobs (core/checkpoint).
+  /// With `ckpt.adaptive_interval` set, `checkpoint_every` is only the
+  /// initial interval and the daemon retunes it within the policy's bounds.
+  checkpoint::CheckpointPolicy ckpt;
 
   // Convergence policy (paper §5.5).
   double convergence_threshold = 1e-8;
@@ -45,6 +50,7 @@ struct AppDescriptor {
     w.u32(task_count);
     w.u32(checkpoint_every);
     w.u32(backup_peer_count);
+    ckpt.serialize(w);
     w.f64(convergence_threshold);
     w.u32(stable_iterations_required);
   }
@@ -57,6 +63,7 @@ struct AppDescriptor {
     d.task_count = r.u32();
     d.checkpoint_every = r.u32();
     d.backup_peer_count = r.u32();
+    d.ckpt = checkpoint::CheckpointPolicy::deserialize(r);
     d.convergence_threshold = r.f64();
     d.stable_iterations_required = r.u32();
     return d;

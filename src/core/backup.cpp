@@ -1,0 +1,162 @@
+#include "core/backup.hpp"
+
+#include <algorithm>
+
+#include "serial/checksum.hpp"
+
+namespace jacepp::core {
+
+BackupStore::StoreResult BackupStore::store_frame(AppId app, TaskId task,
+                                                  std::uint64_t iteration,
+                                                  const serial::Bytes& frame) {
+  auto decoded = checkpoint::decode_frame(frame);
+  if (!decoded.has_value()) {
+    return {false, true};  // corrupt frame; existing chain stays usable
+  }
+
+  auto it = entries_.find(key(app, task));
+  StoreResult result;
+
+  if (decoded->kind == checkpoint::FrameKind::Full) {
+    if (it != entries_.end() && iteration < it->second.iteration) {
+      // Reordered stale baseline: never regress the stored chain. Ack it so
+      // the sender does not keep rebasing; its next delta will mismatch and
+      // trigger the rebase properly if the chains truly diverged.
+      return {true, false};
+    }
+    if (it != entries_.end()) erase_entry(it);
+    Entry entry;
+    entry.iteration = iteration;
+    entry.baseline_id = decoded->baseline_id;
+    entry.last_delta_seq = 0;
+    entry.chunk_size = decoded->chunk_size;
+    entry.state_checksum = decoded->state_checksum;
+    entry.baseline = std::move(decoded->full_state);
+    total_bytes_ += entry.bytes();
+    entries_.emplace(key(app, task), std::move(entry));
+    result = {true, false};
+  } else {
+    if (it == entries_.end() ||
+        it->second.baseline_id != decoded->baseline_id ||
+        it->second.chunk_size != decoded->chunk_size ||
+        it->second.baseline.size() != decoded->total_size) {
+      return {false, true};  // no chain this delta can extend
+    }
+    Entry& entry = it->second;
+    if (decoded->delta_seq <= entry.last_delta_seq) {
+      return {true, false};  // duplicate/reordered: already applied
+    }
+    if (decoded->delta_seq != entry.last_delta_seq + 1) {
+      return {false, true};  // gap: a frame was lost in between
+    }
+    entry.deltas.push_back(frame);
+    entry.last_delta_seq = decoded->delta_seq;
+    entry.iteration = std::max(entry.iteration, iteration);
+    entry.state_checksum = decoded->state_checksum;
+    total_bytes_ += frame.size();
+    result = {true, false};
+  }
+
+  AppMeta& meta = app_meta_[app];
+  meta.last_store_tick = ++store_tick_;
+  enforce_budget(app);
+  return result;
+}
+
+const BackupStore::Entry* BackupStore::find(AppId app, TaskId task) const {
+  const auto it = entries_.find(key(app, task));
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::optional<serial::Bytes> BackupStore::materialize(AppId app, TaskId task) {
+  const auto it = entries_.find(key(app, task));
+  if (it == entries_.end()) return std::nullopt;
+  Entry& entry = it->second;
+
+  serial::Bytes state = entry.baseline;
+  bool ok = true;
+  for (const auto& raw : entry.deltas) {
+    const auto frame = checkpoint::decode_frame(raw);
+    if (!frame.has_value() || frame->total_size != state.size()) {
+      ok = false;
+      break;
+    }
+    for (const auto& [index, payload] : frame->chunks) {
+      const std::size_t lo =
+          static_cast<std::size_t>(index) * frame->chunk_size;
+      if (lo + payload.size() > state.size()) {
+        ok = false;
+        break;
+      }
+      std::copy(payload.begin(), payload.end(),
+                state.begin() + static_cast<std::ptrdiff_t>(lo));
+    }
+    if (!ok) break;
+  }
+  if (!ok || serial::crc32(state) != entry.state_checksum) {
+    // Broken chain: drop it so QueryBackup reports unavailable and the
+    // replacement daemon falls back to another holder (or iteration 0).
+    erase_entry(it);
+    return std::nullopt;
+  }
+  return state;
+}
+
+void BackupStore::clear_app(AppId app) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (static_cast<AppId>(it->first >> 32) == app) {
+      total_bytes_ -= it->second.bytes();
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  app_meta_.erase(app);
+}
+
+void BackupStore::mark_app_finished(AppId app) {
+  const auto it = app_meta_.find(app);
+  if (it != app_meta_.end()) it->second.finished = true;
+}
+
+void BackupStore::set_byte_budget(std::size_t budget) {
+  byte_budget_ = budget;
+  enforce_budget(/*protect_app=*/0xFFFFFFFFu);
+}
+
+void BackupStore::erase_entry(
+    std::unordered_map<std::uint64_t, Entry>::iterator it) {
+  total_bytes_ -= it->second.bytes();
+  entries_.erase(it);
+}
+
+void BackupStore::enforce_budget(AppId protect_app) {
+  if (byte_budget_ == 0) return;
+  while (total_bytes_ > byte_budget_) {
+    // Victim: a finished app beats a live one; within a class, the app least
+    // recently stored into. The app currently being stored is off limits —
+    // evicting it would immediately invalidate the chain just extended.
+    bool found = false;
+    AppId victim = 0;
+    bool victim_finished = false;
+    std::uint64_t victim_tick = 0;
+    for (const auto& [app, meta] : app_meta_) {
+      if (app == protect_app) continue;
+      const bool better =
+          !found || (meta.finished && !victim_finished) ||
+          (meta.finished == victim_finished &&
+           meta.last_store_tick < victim_tick);
+      if (better) {
+        found = true;
+        victim = app;
+        victim_finished = meta.finished;
+        victim_tick = meta.last_store_tick;
+      }
+    }
+    if (!found) return;  // only the protected app remains
+    clear_app(victim);
+    ++evicted_apps_;
+  }
+}
+
+}  // namespace jacepp::core

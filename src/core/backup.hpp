@@ -1,64 +1,102 @@
-// The Backup store each Daemon hosts for its neighbours (paper §5.4): latest
-// checkpoint per (application, task), newer iterations replacing older ones.
+// The Backup store each Daemon hosts for its neighbours (paper §5.4), grown
+// from a latest-blob map into a chain store for incremental checkpoints: per
+// (application, task) it holds one full baseline plus the ordered delta
+// frames received since, and materializes the newest state lazily when a
+// replacement daemon asks for it (core/checkpoint.hpp describes the frames).
+//
+// Memory is bounded: an optional byte budget evicts whole applications,
+// oldest finished apps first, then the most stale (least recently stored)
+// ones — never the application a frame is currently being stored for.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <utility>
+#include <optional>
+#include <unordered_map>
+#include <vector>
 
 #include "core/app.hpp"
+#include "core/checkpoint.hpp"
 #include "serial/serial.hpp"
 
 namespace jacepp::core {
 
 class BackupStore {
  public:
+  /// One baseline+delta chain. `iteration` is the iteration of the newest
+  /// frame — what the restore protocol compares across holders.
   struct Entry {
     std::uint64_t iteration = 0;
-    serial::Bytes state;
+    std::uint64_t baseline_id = 0;
+    std::uint64_t last_delta_seq = 0;  ///< 0 = baseline only
+    std::uint32_t chunk_size = 0;
+    std::uint32_t state_checksum = 0;  ///< CRC-32 of the newest full state
+    serial::Bytes baseline;            ///< materialized baseline state
+    std::vector<serial::Bytes> deltas;  ///< raw frames, delta_seq 1..N
+
+    [[nodiscard]] std::size_t bytes() const {
+      std::size_t total = baseline.size();
+      for (const auto& d : deltas) total += d.size();
+      return total;
+    }
   };
 
-  /// Store a checkpoint; keeps the highest-iteration version per (app, task)
-  /// (out-of-order arrivals never regress the stored checkpoint).
-  void store(AppId app, TaskId task, std::uint64_t iteration, serial::Bytes state) {
-    Entry& entry = entries_[key(app, task)];
-    if (entry.state.empty() || iteration >= entry.iteration) {
-      entry.iteration = iteration;
-      entry.state = std::move(state);
-    }
-  }
+  struct StoreResult {
+    bool accepted = false;
+    /// The frame could not extend this chain (gap, unknown baseline, corrupt
+    /// frame): the sender must rebase with a full baseline.
+    bool needs_full = false;
+  };
 
-  /// Latest checkpoint held for (app, task); nullptr when none.
-  [[nodiscard]] const Entry* find(AppId app, TaskId task) const {
-    const auto it = entries_.find(key(app, task));
-    return it == entries_.end() ? nullptr : &it->second;
-  }
+  /// Ingest one checkpoint frame. Full baselines replace the chain unless
+  /// they would regress `iteration`; deltas must extend the current chain
+  /// exactly (same baseline, next sequence number). Duplicates are ignored
+  /// but acknowledged.
+  StoreResult store_frame(AppId app, TaskId task, std::uint64_t iteration,
+                          const serial::Bytes& frame);
+
+  /// Chain held for (app, task); nullptr when none.
+  [[nodiscard]] const Entry* find(AppId app, TaskId task) const;
+
+  /// Reconstruct the newest state from baseline + deltas, verifying the
+  /// chain's state checksum. On a broken/corrupt chain the entry is dropped
+  /// (so later queries report it unavailable) and nullopt returned.
+  std::optional<serial::Bytes> materialize(AppId app, TaskId task);
 
   /// Drop all checkpoints of a finished application.
-  void clear_app(AppId app) {
-    for (auto it = entries_.begin(); it != entries_.end();) {
-      if (it->first.first == app) {
-        it = entries_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
+  void clear_app(AppId app);
+
+  /// Mark an application finished: it becomes the preferred eviction victim
+  /// when the byte budget is exceeded.
+  void mark_app_finished(AppId app);
+
+  /// Cap the store's total bytes; 0 = unbounded. Enforced on every store by
+  /// evicting whole applications (finished first, then least recently
+  /// stored).
+  void set_byte_budget(std::size_t budget);
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
-
-  [[nodiscard]] std::size_t bytes() const {
-    std::size_t total = 0;
-    for (const auto& [k, e] : entries_) total += e.state.size();
-    return total;
-  }
+  [[nodiscard]] std::size_t bytes() const { return total_bytes_; }
+  [[nodiscard]] std::uint64_t evicted_apps() const { return evicted_apps_; }
 
  private:
-  static std::pair<AppId, TaskId> key(AppId app, TaskId task) {
-    return {app, task};
+  struct AppMeta {
+    std::uint64_t last_store_tick = 0;
+    bool finished = false;
+  };
+
+  static std::uint64_t key(AppId app, TaskId task) {
+    return static_cast<std::uint64_t>(app) << 32 | task;
   }
 
-  std::map<std::pair<AppId, TaskId>, Entry> entries_;
+  void erase_entry(std::unordered_map<std::uint64_t, Entry>::iterator it);
+  void enforce_budget(AppId protect_app);
+
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::unordered_map<AppId, AppMeta> app_meta_;
+  std::size_t total_bytes_ = 0;
+  std::size_t byte_budget_ = 0;
+  std::uint64_t store_tick_ = 0;
+  std::uint64_t evicted_apps_ = 0;
 };
 
 }  // namespace jacepp::core

@@ -1,0 +1,253 @@
+#include "core/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "serial/checksum.hpp"
+#include "support/assert.hpp"
+
+namespace jacepp::core::checkpoint {
+
+namespace {
+
+/// Shared frame prologue: everything up to (not including) the payload.
+void write_header(serial::Writer& w, FrameKind kind, std::uint64_t baseline_id,
+                  std::uint64_t delta_seq, std::uint32_t chunk_size,
+                  const serial::Bytes& state) {
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.varint(baseline_id);
+  w.varint(delta_seq);
+  w.varint(chunk_size);
+  w.varint(state.size());
+  w.u32(serial::crc32(state));
+}
+
+/// Append the trailing frame CRC over everything written so far.
+serial::Bytes seal(serial::Writer&& w) {
+  const std::uint32_t crc = serial::crc32(w.data());
+  w.u32(crc);
+  return w.take();
+}
+
+}  // namespace
+
+serial::Bytes encode_full_frame(std::uint64_t baseline_id,
+                                std::uint32_t chunk_size,
+                                const serial::Bytes& state) {
+  JACEPP_ASSERT(chunk_size > 0);
+  serial::Writer w;
+  write_header(w, FrameKind::Full, baseline_id, /*delta_seq=*/0, chunk_size,
+               state);
+  w.bytes(state);
+  return seal(std::move(w));
+}
+
+serial::Bytes encode_delta_frame(
+    std::uint64_t baseline_id, std::uint64_t delta_seq,
+    std::uint32_t chunk_size, const serial::Bytes& state,
+    const std::vector<std::uint32_t>& chunk_indices) {
+  JACEPP_ASSERT(chunk_size > 0 && delta_seq > 0);
+  serial::Writer w;
+  write_header(w, FrameKind::Delta, baseline_id, delta_seq, chunk_size, state);
+  w.varint(chunk_indices.size());
+  for (const std::uint32_t index : chunk_indices) {
+    const std::size_t lo = static_cast<std::size_t>(index) * chunk_size;
+    JACEPP_ASSERT(lo < state.size());
+    const std::size_t hi = std::min(state.size(), lo + chunk_size);
+    w.varint(index);
+    w.bytes(serial::Bytes(state.begin() + static_cast<std::ptrdiff_t>(lo),
+                          state.begin() + static_cast<std::ptrdiff_t>(hi)));
+  }
+  return seal(std::move(w));
+}
+
+std::optional<DecodedFrame> decode_frame(const serial::Bytes& frame) {
+  // Trailing CRC first: a flipped bit anywhere (header, payload, CRC itself)
+  // fails here before any field is trusted.
+  if (frame.size() < 4) return std::nullopt;
+  const std::size_t body = frame.size() - 4;
+  serial::Reader tail(frame.data() + body, 4);
+  if (serial::crc32(frame.data(), body) != tail.u32()) return std::nullopt;
+
+  serial::Reader r(frame.data(), body);
+  DecodedFrame f;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(FrameKind::Delta)) return std::nullopt;
+  f.kind = static_cast<FrameKind>(kind);
+  f.baseline_id = r.varint();
+  f.delta_seq = r.varint();
+  const std::uint64_t chunk_size = r.varint();
+  f.total_size = r.varint();
+  f.state_checksum = r.u32();
+  if (!r.ok() || chunk_size == 0 || chunk_size > 0xFFFFFFFFu) {
+    return std::nullopt;
+  }
+  f.chunk_size = static_cast<std::uint32_t>(chunk_size);
+
+  if (f.kind == FrameKind::Full) {
+    if (f.delta_seq != 0) return std::nullopt;
+    f.full_state = r.bytes();
+    if (!r.ok() || !r.exhausted() || f.full_state.size() != f.total_size) {
+      return std::nullopt;
+    }
+    if (serial::crc32(f.full_state) != f.state_checksum) return std::nullopt;
+    return f;
+  }
+
+  if (f.delta_seq == 0) return std::nullopt;
+  const std::uint64_t chunk_total =
+      (f.total_size + f.chunk_size - 1) / f.chunk_size;
+  const std::uint64_t count = r.varint();
+  if (!r.ok() || count > chunk_total) return std::nullopt;
+  f.chunks.reserve(static_cast<std::size_t>(count));
+  std::uint64_t prev_index = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t index = r.varint();
+    if (!r.ok() || index >= chunk_total) return std::nullopt;
+    if (i > 0 && index <= prev_index) return std::nullopt;  // canonical order
+    prev_index = index;
+    serial::Bytes payload = r.bytes();
+    const std::uint64_t lo = index * f.chunk_size;
+    const std::uint64_t expected =
+        std::min<std::uint64_t>(f.total_size - lo, f.chunk_size);
+    if (!r.ok() || payload.size() != expected) return std::nullopt;
+    f.chunks.emplace_back(static_cast<std::uint32_t>(index),
+                          std::move(payload));
+  }
+  if (!r.ok() || !r.exhausted()) return std::nullopt;
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// DeltaEncoder
+// ---------------------------------------------------------------------------
+
+DeltaEncoder::DeltaEncoder(CheckpointPolicy policy, std::size_t holder_count)
+    : policy_(std::move(policy)), holders_(holder_count) {
+  JACEPP_CHECK(policy_.chunk_size > 0, "DeltaEncoder: chunk_size must be > 0");
+}
+
+std::size_t DeltaEncoder::chunk_count(std::size_t state_size) const {
+  return (state_size + policy_.chunk_size - 1) / policy_.chunk_size;
+}
+
+void DeltaEncoder::refresh_changed_chunks(
+    const serial::Bytes& state, const std::optional<DirtyRanges>& hints) {
+  const std::size_t chunks = chunk_count(state.size());
+  const std::size_t words = (chunks + 63) / 64;
+
+  if (prev_.size() != state.size()) {
+    // Size change (or first checkpoint): chunk alignment shifted, no delta
+    // can be expressed — every holder restarts its chain from a baseline.
+    for (auto& h : holders_) {
+      h.needs_full = true;
+      h.dirty.assign(words, 0);
+    }
+    prev_ = state;
+    return;
+  }
+
+  // Candidate chunks from the hints (or all chunks), verified by comparing
+  // against the retained previous state so clean hinted chunks drop out.
+  scratch_chunks_.clear();
+  auto add_candidate_range = [&](std::size_t lo, std::size_t hi) {
+    if (lo >= state.size()) return;
+    hi = std::min(hi, state.size());
+    const std::size_t first = lo / policy_.chunk_size;
+    const std::size_t last = (hi - 1) / policy_.chunk_size;
+    for (std::size_t c = first; c <= last; ++c) {
+      scratch_chunks_.push_back(static_cast<std::uint32_t>(c));
+    }
+  };
+  if (!hints.has_value() || hints->all) {
+    add_candidate_range(0, state.size());
+  } else {
+    for (const auto& [lo, hi] : hints->ranges) add_candidate_range(lo, hi);
+    std::sort(scratch_chunks_.begin(), scratch_chunks_.end());
+    scratch_chunks_.erase(
+        std::unique(scratch_chunks_.begin(), scratch_chunks_.end()),
+        scratch_chunks_.end());
+  }
+
+  for (const std::uint32_t c : scratch_chunks_) {
+    const std::size_t lo = static_cast<std::size_t>(c) * policy_.chunk_size;
+    const std::size_t len = std::min<std::size_t>(state.size() - lo,
+                                                  policy_.chunk_size);
+    if (std::memcmp(prev_.data() + lo, state.data() + lo, len) == 0) continue;
+    std::memcpy(prev_.data() + lo, state.data() + lo, len);
+    for (auto& h : holders_) {
+      if (h.dirty.size() != words) h.dirty.assign(words, 0);
+      h.dirty[c / 64] |= std::uint64_t{1} << (c % 64);
+    }
+  }
+}
+
+DeltaEncoder::Emitted DeltaEncoder::emit(
+    std::size_t holder, const serial::Bytes& state,
+    const std::optional<DirtyRanges>& hints) {
+  JACEPP_CHECK(holder < holders_.size(), "DeltaEncoder: holder out of range");
+  refresh_changed_chunks(state, hints);
+  Holder& h = holders_[holder];
+
+  const std::uint64_t budget = policy_.chain_byte_budget != 0
+                                   ? policy_.chain_byte_budget
+                                   : std::max<std::uint64_t>(state.size(), 1);
+  bool full = h.needs_full || h.baseline_id == 0 ||
+              h.delta_seq >= policy_.rebase_every || h.chain_bytes >= budget;
+
+  Emitted out;
+  if (!full) {
+    scratch_chunks_.clear();
+    const std::size_t chunks = chunk_count(state.size());
+    for (std::size_t c = 0; c < chunks; ++c) {
+      if (c / 64 < h.dirty.size() &&
+          (h.dirty[c / 64] >> (c % 64) & 1) != 0) {
+        scratch_chunks_.push_back(static_cast<std::uint32_t>(c));
+      }
+    }
+    out.frame = encode_delta_frame(h.baseline_id, h.delta_seq + 1,
+                                   policy_.chunk_size, state, scratch_chunks_);
+    // A delta carrying nearly every chunk is no cheaper than a baseline and
+    // would only lengthen the chain a rollback must replay.
+    if (out.frame.size() >= state.size()) {
+      full = true;
+    } else {
+      ++h.delta_seq;
+      h.chain_bytes += out.frame.size();
+      std::fill(h.dirty.begin(), h.dirty.end(), 0);
+      out.kind = FrameKind::Delta;
+      out.baseline_id = h.baseline_id;
+      out.delta_seq = h.delta_seq;
+      out.chunks_carried = scratch_chunks_.size();
+      ++deltas_emitted_;
+      delta_bytes_ += out.frame.size();
+    }
+  }
+
+  if (full) {
+    const std::uint64_t id = next_baseline_id_++;
+    out.frame = encode_full_frame(id, policy_.chunk_size, state);
+    out.kind = FrameKind::Full;
+    out.baseline_id = id;
+    out.delta_seq = 0;
+    out.chunks_carried = chunk_count(state.size());
+    h.baseline_id = id;
+    h.delta_seq = 0;
+    h.chain_bytes = 0;
+    h.needs_full = false;
+    std::fill(h.dirty.begin(), h.dirty.end(), 0);
+    ++fulls_emitted_;
+    full_bytes_ += out.frame.size();
+  }
+  return out;
+}
+
+void DeltaEncoder::mark_needs_full(std::size_t holder) {
+  if (holder < holders_.size()) holders_[holder].needs_full = true;
+}
+
+void DeltaEncoder::mark_all_need_full() {
+  for (auto& h : holders_) h.needs_full = true;
+}
+
+}  // namespace jacepp::core::checkpoint

@@ -1,8 +1,10 @@
-// Timing parameters shared by all JaceP2P entities. Defaults are tuned for
-// the simulator (sub-second heartbeats keep failure detection fast relative to
-// iteration times); the threaded runtime uses the same knobs with smaller
-// values in tests.
+// Timing (and a few capacity) parameters shared by all JaceP2P entities.
+// Defaults are tuned for the simulator (sub-second heartbeats keep failure
+// detection fast relative to iteration times); the threaded runtime uses the
+// same knobs with smaller values in tests.
 #pragma once
+
+#include <cstddef>
 
 namespace jacepp::core {
 
@@ -28,6 +30,9 @@ struct TimingConfig {
                                      ///< Backups this long after halt so
                                      ///< post-halt result recovery can read
                                      ///< them
+  std::size_t backup_byte_budget = 0;  ///< BackupStore cap, bytes; exceeding
+                                       ///< it evicts whole apps (finished,
+                                       ///< then stalest, first); 0 = unbounded
 };
 
 }  // namespace jacepp::core

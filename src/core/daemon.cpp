@@ -1,5 +1,8 @@
 #include "core/daemon.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "core/periodic.hpp"
 #include "support/logging.hpp"
 
@@ -9,6 +12,7 @@ Daemon::Daemon(std::vector<net::Stub> bootstrap_addresses, TimingConfig timing)
     : timing_(timing), bootstrap_addresses_(std::move(bootstrap_addresses)) {
   JACEPP_CHECK(!bootstrap_addresses_.empty(),
                "Daemon needs at least one super-peer bootstrap address");
+  backup_store_.set_byte_budget(timing_.backup_byte_budget);
 
   dispatcher_.on<msg::RegisterAck>(
       [this](const msg::RegisterAck& m, const net::Message&, net::Env&) {
@@ -44,6 +48,16 @@ Daemon::Daemon(std::vector<net::Stub> bootstrap_addresses, TimingConfig timing)
       [this](const msg::RegisterUpdate& m, const net::Message&, net::Env&) {
         if (state_ == State::Computing && m.reg.app_id == app_.app_id &&
             m.reg.version > reg_.version) {
+          // A backup peer whose daemon was replaced lost its chain; its next
+          // frame must be a fresh baseline, not a delta it cannot apply.
+          if (encoder_.has_value()) {
+            for (std::size_t i = 0; i < backup_peers_.size(); ++i) {
+              if (m.reg.daemon_of(backup_peers_[i]) !=
+                  reg_.daemon_of(backup_peers_[i])) {
+                encoder_->mark_needs_full(i);
+              }
+            }
+          }
           reg_ = m.reg;
         }
       });
@@ -56,9 +70,34 @@ Daemon::Daemon(std::vector<net::Stub> bootstrap_addresses, TimingConfig timing)
         }
       });
   dispatcher_.on<msg::SaveBackup>(
-      [this](const msg::SaveBackup& m, const net::Message&, net::Env&) {
+      [this](const msg::SaveBackup& m, const net::Message& raw, net::Env& env) {
         if (finished_apps_.count(m.app_id) != 0) return;  // app already halted
-        backup_store_.store(m.app_id, m.task_id, m.iteration, m.state);
+        const auto result =
+            backup_store_.store_frame(m.app_id, m.task_id, m.iteration, m.state);
+        // NACK-only: frames that extend the chain are absorbed silently (the
+        // common case stays one message per save, like the paper's jaceSave);
+        // only an unusable frame — gap, unknown baseline, corruption — makes
+        // the holder ask for a rebase.
+        if (result.needs_full) {
+          msg::BackupAck ack;
+          ack.app_id = m.app_id;
+          ack.task_id = m.task_id;
+          ack.ok = result.accepted;
+          ack.needs_full = true;
+          rmi::invoke(env, raw.from, ack);
+        }
+      });
+  dispatcher_.on<msg::BackupAck>(
+      [this](const msg::BackupAck& m, const net::Message& raw, net::Env&) {
+        if (state_ != State::Computing || !encoder_.has_value() ||
+            m.app_id != app_.app_id || m.task_id != task_id_ || !m.needs_full) {
+          return;
+        }
+        for (std::size_t i = 0; i < backup_peers_.size(); ++i) {
+          if (reg_.daemon_of(backup_peers_[i]) == raw.from) {
+            encoder_->mark_needs_full(i);
+          }
+        }
       });
   dispatcher_.on<msg::QueryBackup>(
       [this](const msg::QueryBackup& m, const net::Message& raw, net::Env& env) {
@@ -73,16 +112,23 @@ Daemon::Daemon(std::vector<net::Stub> bootstrap_addresses, TimingConfig timing)
   dispatcher_.on<msg::FetchBackup>(
       [this](const msg::FetchBackup& m, const net::Message& raw, net::Env& env) {
         const BackupStore::Entry* entry = backup_store_.find(m.app_id, m.task_id);
-        if (entry != nullptr) {
+        const std::uint64_t iteration = entry != nullptr ? entry->iteration : 0;
+        // Rollback reconstruction: replay baseline + delta chain into the
+        // newest full state. A broken/corrupt chain drops the entry and the
+        // restarter is told to fall back (it re-queries the other holders).
+        auto state = entry != nullptr
+                         ? backup_store_.materialize(m.app_id, m.task_id)
+                         : std::nullopt;
+        if (state.has_value()) {
           msg::BackupData data;
           data.app_id = m.app_id;
           data.task_id = m.task_id;
-          data.iteration = entry->iteration;
-          data.state = entry->state;
+          data.iteration = iteration;
+          data.state = std::move(*state);
           rmi::invoke(env, raw.from, data);
         } else {
-          // The checkpoint vanished between query and fetch (e.g. this holder
-          // restarted); tell the restarter so it can fall back.
+          // The checkpoint vanished between query and fetch (holder restart,
+          // eviction, broken chain); tell the restarter so it can fall back.
           msg::BackupInfo info;
           info.app_id = m.app_id;
           info.task_id = m.task_id;
@@ -92,12 +138,18 @@ Daemon::Daemon(std::vector<net::Stub> bootstrap_addresses, TimingConfig timing)
       });
   dispatcher_.on<msg::BackupInfo>(
       [this](const msg::BackupInfo& m, const net::Message& raw, net::Env&) {
-        if (restore_phase_ == RestorePhase::Querying && m.app_id == app_.app_id &&
-            m.task_id == task_id_ && m.available &&
+        if (m.app_id != app_.app_id || m.task_id != task_id_) return;
+        if (restore_phase_ == RestorePhase::Querying && m.available &&
             (!best_backup_available_ || m.iteration > best_backup_iteration_)) {
           best_backup_available_ = true;
           best_backup_iteration_ = m.iteration;
           best_backup_holder_ = raw.from;
+        } else if (restore_phase_ == RestorePhase::Fetching && !m.available &&
+                   raw.from == best_backup_holder_) {
+          // The chosen holder's chain turned out broken (or it lost the
+          // checkpoint since the query); fall back instead of waiting for
+          // the fetch timeout.
+          fetch_failed();
         }
       });
   dispatcher_.on<msg::BackupData>(
@@ -195,7 +247,15 @@ void Daemon::handle_assignment(const msg::TaskAssignment& m) {
   // halt; it must still be able to restore and reply.
   if (finalize_only_) finished_apps_.erase(app_.app_id);
   restore_phase_ = RestorePhase::None;
+  restore_retried_ = false;
   tracker_.emplace(app_.convergence_threshold, app_.stable_iterations_required);
+
+  backup_peers_ = backup_peers_of(task_id_, app_.task_count,
+                                  app_.backup_peer_count);
+  encoder_.emplace(app_.ckpt, backup_peers_.size());
+  current_interval_ = app_.checkpoint_every;
+  iterations_since_checkpoint_ = 0;
+  iter_cost_ewma_ = 0.0;
 
   task_ = TaskProgramRegistry::instance().create(app_.program);
   JACEPP_CHECK(task_ != nullptr, "unknown task program in assignment");
@@ -221,8 +281,7 @@ void Daemon::begin_restore() {
   best_backup_available_ = false;
   best_backup_iteration_ = 0;
 
-  const auto peers = backup_peers_of(task_id_, app_.task_count,
-                                     app_.backup_peer_count);
+  const auto& peers = backup_peers_;
   std::size_t queried = 0;
   for (const TaskId peer : peers) {
     const net::Stub holder = reg_.daemon_of(peer);
@@ -259,10 +318,22 @@ void Daemon::decide_restore() {
   const std::uint64_t epoch = epoch_;
   env_->schedule(timing_.backup_fetch_timeout, [this, epoch] {
     if (epoch == epoch_ && restore_phase_ == RestorePhase::Fetching) {
-      // Holder died between info and fetch; the safe fallback is iteration 0.
-      restart_from_zero();
+      // Holder died (or went silent) between info and fetch.
+      fetch_failed();
     }
   });
+}
+
+void Daemon::fetch_failed() {
+  // One full re-query round first: the failed holder now reports its chain
+  // unavailable, so the next-best backup (possibly a slightly older full
+  // checkpoint elsewhere) wins; only then is iteration 0 the fallback.
+  if (!restore_retried_) {
+    restore_retried_ = true;
+    begin_restore();
+    return;
+  }
+  restart_from_zero();
 }
 
 void Daemon::restart_from_zero() {
@@ -297,6 +368,7 @@ void Daemon::run_iteration() {
   if (halted_ || state_ != State::Computing || restore_phase_ != RestorePhase::None) {
     return;
   }
+  iteration_started_at_ = env_->now();
   const std::uint64_t epoch = epoch_;
   env_->compute([this] { return task_->iterate(); },
                 [this, epoch] {
@@ -308,6 +380,13 @@ void Daemon::run_iteration() {
 
 void Daemon::finish_iteration() {
   ++iteration_;
+  // Iteration cost for the adaptive save interval. In the simulator this is
+  // virtual time (flops / machine speed) and therefore deterministic; in the
+  // threaded runtime it is wall time.
+  const double duration = env_->now() - iteration_started_at_;
+  iter_cost_ewma_ = iter_cost_ewma_ <= 0.0
+                        ? duration
+                        : 0.8 * iter_cost_ewma_ + 0.2 * duration;
 
   // Push dependency data to neighbours through the current register; slots
   // whose daemon failed and has not been replaced yet hold an invalid stub —
@@ -338,8 +417,12 @@ void Daemon::finish_iteration() {
     rmi::invoke(*env_, reg_.spawner, report);
   }
 
-  // Checkpoint every k iterations (jaceSave, §5.4).
-  if (app_.checkpoint_every > 0 && iteration_ % app_.checkpoint_every == 0) {
+  // Checkpoint every k iterations (jaceSave, §5.4). checkpoint_every == 0
+  // disables saving entirely; otherwise k is the fixed interval or, with
+  // ckpt.adaptive_interval, the live value retuned after every save.
+  if (app_.checkpoint_every > 0 &&
+      ++iterations_since_checkpoint_ >= std::max(current_interval_, 1u)) {
+    iterations_since_checkpoint_ = 0;
     do_checkpoint();
   }
 
@@ -347,21 +430,52 @@ void Daemon::finish_iteration() {
 }
 
 void Daemon::do_checkpoint() {
-  const auto peers = backup_peers_of(task_id_, app_.task_count,
-                                     app_.backup_peer_count);
-  if (peers.empty()) return;
+  if (backup_peers_.empty()) return;
   // Round-robin across the fixed backup-peer set (paper Figure 5: successive
-  // saves of one task land on alternating neighbours).
-  const TaskId target = peers[save_seq_ % peers.size()];
+  // saves of one task land on alternating neighbours). Each holder gets its
+  // own baseline+delta chain, so only the chunks dirtied since THIS holder's
+  // previous frame travel.
+  const std::size_t target_index = save_seq_ % backup_peers_.size();
+  const TaskId target = backup_peers_[target_index];
   ++save_seq_;
   const net::Stub holder = reg_.daemon_of(target);
   if (!holder.valid() || holder == env_->self()) return;
+
+  const serial::Bytes state = task_->checkpoint();
+  const auto emitted =
+      encoder_->emit(target_index, state, task_->take_dirty_ranges());
+  if (emitted.kind == checkpoint::FrameKind::Full) {
+    ++ckpt_fulls_;
+    ckpt_full_bytes_ += emitted.frame.size();
+  } else {
+    ++ckpt_deltas_;
+    ckpt_delta_bytes_ += emitted.frame.size();
+  }
+
   msg::SaveBackup save;
   save.app_id = app_.app_id;
   save.task_id = task_id_;
   save.iteration = iteration_;
-  save.state = task_->checkpoint();
+  save.state = emitted.frame;
+  const std::size_t frame_bytes = emitted.frame.size();
   rmi::invoke(*env_, holder, save);
+
+  // Adaptive interval: size k so the modelled serialize+send cost stays near
+  // `target_overhead` of the per-iteration cost — wide k while checkpoints
+  // are expensive relative to iterations, narrow k once deltas get cheap.
+  const auto& p = app_.ckpt;
+  if (p.adaptive_interval && iter_cost_ewma_ > 0.0) {
+    const double save_cost =
+        p.net_latency + static_cast<double>(frame_bytes) /
+                            std::max(p.net_bandwidth, 1.0);
+    const double ratio =
+        save_cost / (std::max(p.target_overhead, 1e-6) * iter_cost_ewma_);
+    const double k = std::ceil(ratio);
+    const std::uint32_t lo = std::max(p.min_interval, 1u);
+    const std::uint32_t hi = std::max(p.max_interval, lo);
+    current_interval_ = static_cast<std::uint32_t>(
+        std::min<double>(hi, std::max<double>(lo, k)));
+  }
 }
 
 void Daemon::handle_halt(const msg::GlobalHalt& m) {
@@ -388,12 +502,17 @@ void Daemon::handle_halt(const msg::GlobalHalt& m) {
 void Daemon::teardown_task() {
   finished_apps_.insert(app_.app_id);
   // Retain the app's Backups for a grace period: a post-halt finalize-only
-  // replacement may still need to read them (see TaskAssignment).
+  // replacement may still need to read them (see TaskAssignment). Marking the
+  // app finished makes its chains the preferred victims if the store's byte
+  // budget bites before the retention timer fires.
   const AppId app = app_.app_id;
+  backup_store_.mark_app_finished(app);
   env_->schedule(timing_.backup_retention,
                  [this, app] { backup_store_.clear_app(app); });
   task_.reset();
   tracker_.reset();
+  encoder_.reset();
+  backup_peers_.clear();
   restore_phase_ = RestorePhase::None;
   finalize_only_ = false;
 }

@@ -24,6 +24,7 @@
 
 #include "asynciter/convergence.hpp"
 #include "core/backup.hpp"
+#include "core/checkpoint.hpp"
 #include "core/config.hpp"
 #include "core/messages.hpp"
 #include "core/task.hpp"
@@ -67,6 +68,17 @@ class Daemon : public net::Actor {
   [[nodiscard]] std::uint64_t bootstrap_attempts() const { return bootstrap_attempts_; }
   [[nodiscard]] Task* task() { return task_.get(); }
 
+  // Checkpoint-path introspection (valid while computing / post-run).
+  [[nodiscard]] std::uint32_t checkpoint_interval() const { return current_interval_; }
+  [[nodiscard]] std::uint64_t checkpoint_fulls() const { return ckpt_fulls_; }
+  [[nodiscard]] std::uint64_t checkpoint_deltas() const { return ckpt_deltas_; }
+  [[nodiscard]] std::uint64_t checkpoint_full_bytes() const {
+    return ckpt_full_bytes_;
+  }
+  [[nodiscard]] std::uint64_t checkpoint_delta_bytes() const {
+    return ckpt_delta_bytes_;
+  }
+
  private:
   enum class RestorePhase : std::uint8_t { None, Querying, Fetching };
 
@@ -81,6 +93,7 @@ class Daemon : public net::Actor {
   void handle_assignment(const msg::TaskAssignment& m);
   void begin_restore();
   void decide_restore();
+  void fetch_failed();
   void restart_from_zero();
   void start_iterating();
   void run_iteration();
@@ -124,11 +137,28 @@ class Daemon : public net::Actor {
   bool halted_ = false;
   bool finalize_only_ = false;
 
+  // Checkpoint emission (§5.4 + delta framing, core/checkpoint.hpp).
+  std::vector<TaskId> backup_peers_;
+  std::optional<checkpoint::DeltaEncoder> encoder_;
+  std::uint32_t current_interval_ = 0;  ///< live k (adaptive or fixed)
+  std::uint64_t iterations_since_checkpoint_ = 0;
+  double iter_cost_ewma_ = 0.0;  ///< smoothed iteration duration, seconds
+  double iteration_started_at_ = 0.0;
+  // Lifetime frame statistics (across task incarnations; the per-task
+  // encoder is torn down with the task).
+  std::uint64_t ckpt_fulls_ = 0;
+  std::uint64_t ckpt_deltas_ = 0;
+  std::uint64_t ckpt_full_bytes_ = 0;
+  std::uint64_t ckpt_delta_bytes_ = 0;
+
   // Restore protocol state (§5.4).
   RestorePhase restore_phase_ = RestorePhase::None;
   bool best_backup_available_ = false;
   std::uint64_t best_backup_iteration_ = 0;
   net::Stub best_backup_holder_;
+  /// A fetch that failed on a broken chain re-runs the query round once (the
+  /// broken holder now reports unavailable) before falling back to zero.
+  bool restore_retried_ = false;
 
   BackupStore backup_store_;
   /// Applications this daemon saw halt: late in-flight SaveBackups for them

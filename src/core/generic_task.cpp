@@ -84,6 +84,7 @@ double GenericMultisplitTask::iterate() {
   const auto cg = linalg::conjugate_gradient(a_local_, rhs, x_local_, options);
   last_solve_converged_ = cg.converged;
   sent_since_solve_ = false;
+  ckpt_solve_dirty_ = true;
 
   double diff2 = 0.0;
   double norm2 = 0.0;
@@ -156,7 +157,10 @@ void GenericMultisplitTask::on_data(TaskId from_task, std::uint64_t /*iteration*
   if (values.size() != scratch.size()) return;  // malformed: drop
 
   auto& last = last_received_[from_task];
-  if (last != values) fresh_ = true;
+  if (last != values) {
+    fresh_ = true;
+    ckpt_halo_dirty_ = true;
+  }
   last = values;
   for (std::size_t i = 0; i < scratch.size(); ++i) {
     x_halo_[scratch[i]] = values[i];
@@ -189,6 +193,27 @@ void GenericMultisplitTask::restore(const serial::Bytes& state) {
   last_received_.clear();
   fresh_ = false;
   last_solve_converged_ = false;  // force a real solve after restore
+  ckpt_solve_dirty_ = ckpt_halo_dirty_ = true;
+}
+
+std::optional<checkpoint::DirtyRanges>
+GenericMultisplitTask::take_dirty_ranges() {
+  // Layout of checkpoint(): x_local_ | owned_prev_ | x_halo_ | error +
+  // iteration counters. Sizes are fixed after init.
+  const std::size_t prev_end =
+      serial::varint_size(x_local_.size()) + sizeof(double) * x_local_.size() +
+      serial::varint_size(owned_prev_.size()) +
+      sizeof(double) * owned_prev_.size();
+  const std::size_t halo_end = prev_end + serial::varint_size(x_halo_.size()) +
+                               sizeof(double) * x_halo_.size();
+  const std::size_t total = halo_end + 3 * sizeof(std::uint64_t);
+
+  checkpoint::DirtyRanges d;
+  if (ckpt_solve_dirty_) d.mark(0, prev_end);
+  if (ckpt_halo_dirty_) d.mark(prev_end, halo_end);
+  d.mark(halo_end, total);  // scalars change every iteration
+  ckpt_solve_dirty_ = ckpt_halo_dirty_ = false;
+  return d;
 }
 
 serial::Bytes GenericMultisplitTask::final_payload() const {

@@ -62,6 +62,7 @@ class GenericMultisplitTask : public Task {
                const serial::Bytes& payload) override;
   [[nodiscard]] serial::Bytes checkpoint() const override;
   void restore(const serial::Bytes& state) override;
+  std::optional<checkpoint::DirtyRanges> take_dirty_ranges() override;
   [[nodiscard]] serial::Bytes final_payload() const override;
   [[nodiscard]] std::uint64_t informative_iterations() const override {
     return informative_count_;
@@ -95,6 +96,10 @@ class GenericMultisplitTask : public Task {
   /// For each peer task: last content received (global index → value applied
   /// into x_halo_); used for content-based freshness.
   std::map<TaskId, linalg::Vector> last_received_;
+
+  // Dirty flags for delta checkpointing; cleared by take_dirty_ranges().
+  bool ckpt_solve_dirty_ = true;  ///< x_local_ + owned_prev_ changed
+  bool ckpt_halo_dirty_ = true;   ///< x_halo_ changed
 
   bool fresh_ = false;
   bool informative_ = false;

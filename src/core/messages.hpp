@@ -246,6 +246,32 @@ struct SaveBackup {
   }
 };
 
+/// Backup-peer → saving Daemon: frame ingest result. `needs_full` asks the
+/// sender to rebase this holder's chain with a full baseline (the holder
+/// restarted, detected a sequence gap, or received a corrupt frame).
+struct BackupAck {
+  static constexpr net::MessageType kType = 20;
+  AppId app_id = 0;
+  TaskId task_id = 0;
+  bool ok = false;
+  bool needs_full = false;
+
+  void serialize(serial::Writer& w) const {
+    w.u32(app_id);
+    w.u32(task_id);
+    w.boolean(ok);
+    w.boolean(needs_full);
+  }
+  static BackupAck deserialize(serial::Reader& r) {
+    BackupAck m;
+    m.app_id = r.u32();
+    m.task_id = r.u32();
+    m.ok = r.boolean();
+    m.needs_full = r.boolean();
+    return m;
+  }
+};
+
 /// Replacement Daemon → potential backup-peer: which iteration (if any) do
 /// you hold for this task?
 struct QueryBackup {

@@ -17,10 +17,12 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "core/app.hpp"
+#include "core/checkpoint.hpp"
 #include "serial/serial.hpp"
 
 namespace jacepp::core {
@@ -71,6 +73,17 @@ class Task {
 
   /// Restore from a checkpoint produced by checkpoint().
   virtual void restore(const serial::Bytes& state) = 0;
+
+  /// Delta-checkpoint support: byte ranges of the checkpoint() encoding that
+  /// may have changed since the PREVIOUS take_dirty_ranges() call, and clear
+  /// the task's dirty tracking. nullopt (the default) means "unknown — the
+  /// encoder compares every chunk". Over-marking costs a memcmp per chunk;
+  /// under-marking corrupts the holder's chain (caught by the chain's state
+  /// checksum and healed by a forced rebase, but never silent — see
+  /// core/checkpoint.hpp).
+  virtual std::optional<checkpoint::DirtyRanges> take_dirty_ranges() {
+    return std::nullopt;
+  }
 
   /// Payload reported to the Spawner after GlobalHalt (defaults to the full
   /// checkpoint; override to return just the solution slice).

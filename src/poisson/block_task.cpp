@@ -130,6 +130,7 @@ double PoissonTask::iterate() {
   const auto cg = linalg::conjugate_gradient(a_local_, rhs, x_ext_, options);
   last_solve_converged_ = cg.converged;
   sent_since_last_solve_ = false;
+  ckpt_solve_dirty_ = true;
 
   // Relative change of the OWNED components — the published iterate. Fused
   // map+reduce: each chunk updates its disjoint owned_prev_ slice while
@@ -236,11 +237,17 @@ void PoissonTask::on_data(core::TaskId from_task, std::uint64_t iteration,
   // information would let update-distance hit zero and fake local stability
   // (the paper's "no update received" iterations).
   if (from_task + 1 == task_id_) {
-    if (line != lower_boundary_) lower_fresh_ = true;
+    if (line != lower_boundary_) {
+      lower_fresh_ = true;
+      ckpt_lower_dirty_ = true;
+    }
     lower_boundary_ = std::move(line);
     lower_tag_ = iteration;
   } else if (from_task == task_id_ + 1) {
-    if (line != upper_boundary_) upper_fresh_ = true;
+    if (line != upper_boundary_) {
+      upper_fresh_ = true;
+      ckpt_upper_dirty_ = true;
+    }
     upper_boundary_ = std::move(line);
     upper_tag_ = iteration;
   }
@@ -273,6 +280,32 @@ void PoissonTask::restore(const serial::Bytes& state) {
   JACEPP_CHECK(x_ext_.size() == block_.ext_size(),
                "PoissonTask: checkpoint shape mismatch");
   lower_fresh_ = upper_fresh_ = false;
+  ckpt_solve_dirty_ = ckpt_lower_dirty_ = ckpt_upper_dirty_ = true;
+}
+
+std::optional<core::checkpoint::DirtyRanges> PoissonTask::take_dirty_ranges() {
+  // Byte layout of checkpoint(): x_ext_ | owned_prev_ | lower | upper |
+  // tags + error + iteration counter. Vector sizes are fixed after init, so
+  // the field offsets are stable across checkpoints.
+  const std::size_t n = config_.n;
+  const std::size_t x_end = serial::varint_size(x_ext_.size()) +
+                            sizeof(double) * x_ext_.size();
+  const std::size_t prev_end = x_end +
+                               serial::varint_size(owned_prev_.size()) +
+                               sizeof(double) * owned_prev_.size();
+  const std::size_t lower_end =
+      prev_end + serial::varint_size(n) + sizeof(double) * n;
+  const std::size_t upper_end =
+      lower_end + serial::varint_size(n) + sizeof(double) * n;
+  const std::size_t total = upper_end + 4 * sizeof(std::uint64_t);
+
+  core::checkpoint::DirtyRanges d;
+  if (ckpt_solve_dirty_) d.mark(0, prev_end);
+  if (ckpt_lower_dirty_) d.mark(prev_end, lower_end);
+  if (ckpt_upper_dirty_) d.mark(lower_end, upper_end);
+  d.mark(upper_end, total);  // scalars change every iteration
+  ckpt_solve_dirty_ = ckpt_lower_dirty_ = ckpt_upper_dirty_ = false;
+  return d;
 }
 
 linalg::Vector PoissonTask::owned_slice() const {

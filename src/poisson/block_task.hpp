@@ -78,6 +78,7 @@ class PoissonTask : public core::Task {
                const serial::Bytes& payload) override;
   [[nodiscard]] serial::Bytes checkpoint() const override;
   void restore(const serial::Bytes& state) override;
+  std::optional<core::checkpoint::DirtyRanges> take_dirty_ranges() override;
   [[nodiscard]] serial::Bytes final_payload() const override;
   [[nodiscard]] std::uint64_t informative_iterations() const override {
     return iterations_with_fresh_data_;
@@ -120,6 +121,14 @@ class PoissonTask : public core::Task {
   std::uint64_t upper_tag_ = 0;
   bool lower_fresh_ = false;
   bool upper_fresh_ = false;
+
+  // Dirty flags for delta checkpointing, at field granularity; cleared by
+  // take_dirty_ranges(). The trailing scalars (tags/error/iteration counter)
+  // are always reported dirty — they change every iteration and share the
+  // final chunk anyway.
+  bool ckpt_solve_dirty_ = true;  ///< x_ext_ + owned_prev_ changed
+  bool ckpt_lower_dirty_ = true;
+  bool ckpt_upper_dirty_ = true;
 
   double inv_h2_ = 0.0;
   double local_error_ = 1.0;

@@ -1,0 +1,48 @@
+// CRC-32 (ISO-HDLC polynomial, the zlib/PNG variant) for frame integrity.
+//
+// Checkpoint frames (core/checkpoint) carry two of these: one over the frame
+// bytes themselves (detects a corrupted frame) and one over the full
+// reconstructed state (detects a broken baseline+delta chain even when every
+// individual frame is intact).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "serial/serial.hpp"
+
+namespace jacepp::serial {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// CRC-32 of `size` bytes at `data` (init/final XOR 0xFFFFFFFF, reflected).
+inline std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  const auto& table = detail::crc32_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+inline std::uint32_t crc32(const Bytes& data) {
+  return crc32(data.data(), data.size());
+}
+
+}  // namespace jacepp::serial

@@ -30,6 +30,17 @@ namespace jacepp::serial {
 
 using Bytes = std::vector<std::uint8_t>;
 
+/// Encoded byte length of varint(v) — for computing field offsets inside an
+/// encoding without writing it (delta-checkpoint dirty-range layout math).
+inline std::size_t varint_size(std::uint64_t v) {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 class Writer {
  public:
   Writer() = default;

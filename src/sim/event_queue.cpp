@@ -1,23 +1,44 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 #include "support/assert.hpp"
 
 namespace jacepp::sim {
 
 EventId EventQueue::schedule(double when, std::function<void()> fn) {
   const EventId id = next_id_++;
-  heap_.push(Entry{when, id, std::move(fn)});
+  heap_.push_back(Entry{when, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   return id;
 }
 
-void EventQueue::cancel(EventId id) { cancelled_.insert(id); }
+void EventQueue::cancel(EventId id) {
+  cancelled_.insert(id);
+  if (cancelled_.size() > heap_.size() / 2) purge();
+}
+
+void EventQueue::purge() {
+  // Sweep every tombstone out of the heap in one pass and rebuild. Each
+  // cancelled id is either in the heap (removed here) or was already popped
+  // (stale cancel); both ways the set empties, so tombstone memory is bounded
+  // by half the live-event count between purges.
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const Entry& e) {
+                               return cancelled_.count(e.id) != 0;
+                             }),
+              heap_.end());
+  cancelled_.clear();
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+}
 
 void EventQueue::drop_cancelled() {
   while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id);
+    auto it = cancelled_.find(heap_.front().id);
     if (it == cancelled_.end()) break;
     cancelled_.erase(it);
-    heap_.pop();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
   }
 }
 
@@ -29,14 +50,15 @@ bool EventQueue::empty() {
 double EventQueue::next_time() {
   drop_cancelled();
   JACEPP_CHECK(!heap_.empty(), "next_time on empty EventQueue");
-  return heap_.top().time;
+  return heap_.front().time;
 }
 
 std::function<void()> EventQueue::pop(double* now) {
   drop_cancelled();
   JACEPP_CHECK(!heap_.empty(), "pop on empty EventQueue");
-  Entry top = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry top = std::move(heap_.back());
+  heap_.pop_back();
   if (now != nullptr) *now = top.time;
   return std::move(top.fn);
 }

@@ -1,11 +1,16 @@
 // Discrete-event queue: a stable min-heap of timestamped closures with O(1)
 // cancellation flags. Ties in time break by insertion order, which makes the
 // whole simulation deterministic for a fixed seed.
+//
+// Cancelled events are tombstoned, not removed: normally they are skipped
+// lazily when they reach the top. To bound memory under cancel-heavy loads
+// (periodic timers rescheduled every tick), cancel() eagerly rebuilds the
+// heap once tombstones outnumber half the live entries, so the queue never
+// holds more than ~2x the live event count.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
@@ -18,7 +23,8 @@ class EventQueue {
   /// Schedule `fn` at absolute time `when` (seconds). Returns a cancellable id.
   EventId schedule(double when, std::function<void()> fn);
 
-  /// Mark an event cancelled; it will be skipped when popped.
+  /// Mark an event cancelled; it will be skipped when popped (or swept out
+  /// immediately when tombstones exceed half the heap).
   void cancel(EventId id);
 
   /// True when no live events remain.
@@ -32,6 +38,9 @@ class EventQueue {
   std::function<void()> pop(double* now);
 
   [[nodiscard]] std::size_t scheduled_count() const { return heap_.size(); }
+  /// Pending tombstones (cancelled ids not yet swept). Bounded by
+  /// scheduled_count() / 2 + 1 after every cancel().
+  [[nodiscard]] std::size_t cancelled_count() const { return cancelled_.size(); }
 
  private:
   struct Entry {
@@ -42,16 +51,19 @@ class EventQueue {
 
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
-      // std::priority_queue is a max-heap; invert for earliest-first, with
-      // insertion id as the deterministic tiebreaker.
+      // Heap comparator for earliest-first order (std::*_heap are max-heaps;
+      // invert), with insertion id as the deterministic tiebreaker.
       if (a.time != b.time) return a.time > b.time;
       return a.id > b.id;
     }
   };
 
   void drop_cancelled();
+  void purge();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Manual heap over a vector (make/push/pop_heap) instead of
+  // std::priority_queue: purge() needs access to the underlying storage.
+  std::vector<Entry> heap_;
   std::unordered_set<EventId> cancelled_;
   EventId next_id_ = 1;
 };

@@ -57,6 +57,13 @@ TEST(AppDescriptor, SerializationRoundTrip) {
   app.backup_peer_count = 20;
   app.convergence_threshold = 1e-7;
   app.stable_iterations_required = 4;
+  app.ckpt.chunk_size = 512;
+  app.ckpt.rebase_every = 7;
+  app.ckpt.chain_byte_budget = 123456;
+  app.ckpt.adaptive_interval = true;
+  app.ckpt.min_interval = 3;
+  app.ckpt.max_interval = 48;
+  app.ckpt.target_overhead = 0.02;
 
   const auto decoded = serial::decode<AppDescriptor>(serial::encode(app));
   EXPECT_EQ(decoded.app_id, app.app_id);
@@ -67,6 +74,13 @@ TEST(AppDescriptor, SerializationRoundTrip) {
   EXPECT_EQ(decoded.backup_peer_count, app.backup_peer_count);
   EXPECT_DOUBLE_EQ(decoded.convergence_threshold, app.convergence_threshold);
   EXPECT_EQ(decoded.stable_iterations_required, app.stable_iterations_required);
+  EXPECT_EQ(decoded.ckpt.chunk_size, app.ckpt.chunk_size);
+  EXPECT_EQ(decoded.ckpt.rebase_every, app.ckpt.rebase_every);
+  EXPECT_EQ(decoded.ckpt.chain_byte_budget, app.ckpt.chain_byte_budget);
+  EXPECT_EQ(decoded.ckpt.adaptive_interval, app.ckpt.adaptive_interval);
+  EXPECT_EQ(decoded.ckpt.min_interval, app.ckpt.min_interval);
+  EXPECT_EQ(decoded.ckpt.max_interval, app.ckpt.max_interval);
+  EXPECT_DOUBLE_EQ(decoded.ckpt.target_overhead, app.ckpt.target_overhead);
 }
 
 TEST(AppRegister, FindAndDaemonOf) {
@@ -97,22 +111,28 @@ TEST(AppRegister, SerializationRoundTrip) {
   EXPECT_EQ(decoded.tasks[2].daemon.node, 12u);
 }
 
+// Shorthand: a full-baseline frame for `state` (chunk size 4).
+serial::Bytes full(std::uint64_t baseline_id, const serial::Bytes& state) {
+  return checkpoint::encode_full_frame(baseline_id, 4, state);
+}
+
 TEST(BackupStore, KeepsNewestPerTask) {
   BackupStore store;
-  store.store(1, 0, 5, {1});
-  store.store(1, 0, 10, {2});
-  store.store(1, 0, 7, {3});  // older: ignored
+  EXPECT_TRUE(store.store_frame(1, 0, 5, full(1, {1})).accepted);
+  EXPECT_TRUE(store.store_frame(1, 0, 10, full(2, {2})).accepted);
+  // Older, reordered baseline: acknowledged but never regresses the chain.
+  EXPECT_TRUE(store.store_frame(1, 0, 7, full(3, {3})).accepted);
   const auto* entry = store.find(1, 0);
   ASSERT_NE(entry, nullptr);
   EXPECT_EQ(entry->iteration, 10u);
-  EXPECT_EQ(entry->state, (serial::Bytes{2}));
+  EXPECT_EQ(store.materialize(1, 0), (serial::Bytes{2}));
 }
 
 TEST(BackupStore, SeparatesAppsAndTasks) {
   BackupStore store;
-  store.store(1, 0, 5, {1});
-  store.store(1, 1, 6, {2});
-  store.store(2, 0, 7, {3});
+  store.store_frame(1, 0, 5, full(1, {1}));
+  store.store_frame(1, 1, 6, full(1, {2}));
+  store.store_frame(2, 0, 7, full(1, {3}));
   EXPECT_EQ(store.size(), 3u);
   EXPECT_EQ(store.find(1, 0)->iteration, 5u);
   EXPECT_EQ(store.find(1, 1)->iteration, 6u);
@@ -122,8 +142,8 @@ TEST(BackupStore, SeparatesAppsAndTasks) {
 
 TEST(BackupStore, ClearAppRemovesOnlyThatApp) {
   BackupStore store;
-  store.store(1, 0, 5, {1});
-  store.store(2, 0, 7, {3});
+  store.store_frame(1, 0, 5, full(1, {1}));
+  store.store_frame(2, 0, 7, full(1, {3}));
   store.clear_app(1);
   EXPECT_EQ(store.find(1, 0), nullptr);
   ASSERT_NE(store.find(2, 0), nullptr);
@@ -132,18 +152,18 @@ TEST(BackupStore, ClearAppRemovesOnlyThatApp) {
 
 TEST(BackupStore, BytesAccounting) {
   BackupStore store;
-  store.store(1, 0, 1, serial::Bytes(100, 0));
-  store.store(1, 1, 1, serial::Bytes(50, 0));
-  EXPECT_EQ(store.bytes(), 150u);
-  store.store(1, 0, 2, serial::Bytes(10, 0));  // replaces the 100-byte one
+  store.store_frame(1, 0, 1, full(1, serial::Bytes(100, 0)));
+  store.store_frame(1, 1, 1, full(1, serial::Bytes(50, 0)));
+  EXPECT_EQ(store.bytes(), 150u);  // decoded baselines, not frame overhead
+  store.store_frame(1, 0, 2, full(2, serial::Bytes(10, 0)));  // replaces
   EXPECT_EQ(store.bytes(), 60u);
 }
 
 TEST(BackupStore, SameIterationReplaces) {
   BackupStore store;
-  store.store(1, 0, 5, {1});
-  store.store(1, 0, 5, {9});
-  EXPECT_EQ(store.find(1, 0)->state, (serial::Bytes{9}));
+  store.store_frame(1, 0, 5, full(1, {1}));
+  store.store_frame(1, 0, 5, full(2, {9}));
+  EXPECT_EQ(store.materialize(1, 0), (serial::Bytes{9}));
 }
 
 }  // namespace

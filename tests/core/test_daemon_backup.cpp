@@ -128,5 +128,86 @@ TEST(DaemonBackup, BackupsClearedAfterHalt) {
   }
 }
 
+TEST(DaemonBackup, StarvedIterationsProduceSmallDeltaFrames) {
+  // Delta frames pay off exactly when the state does NOT fully change
+  // between two frames to the same holder: the asynchronous "iterations
+  // without update" of §7. A strongly skewed fleet makes fast tasks starve
+  // between slow neighbours' updates; with one holder and k=1, those frozen
+  // iterations must come out as deltas carrying only the counter chunk,
+  // while the solve-carrying iterations still (correctly) emit baselines.
+  auto config = poisson_config(24, 4, 41, 100.0);
+  config.app.checkpoint_every = 1;
+  config.app.backup_peer_count = 1;
+  // The test state (~2.7 KB) is below the default 4 KB chunk; shrink the
+  // chunks so a frame can carry less than the whole state.
+  config.app.ckpt.chunk_size = 256;
+  config.fleet.min_flops = 20e6;
+  config.fleet.max_flops = 400e6;
+  SimDeployment deployment(config);
+  deployment.build();
+  deployment.world().run_until(2.0);
+
+  std::uint64_t fulls = 0;
+  std::uint64_t deltas = 0;
+  std::uint64_t full_bytes = 0;
+  std::uint64_t delta_bytes = 0;
+  for (const auto node : deployment.daemon_nodes()) {
+    auto* daemon = dynamic_cast<Daemon*>(deployment.world().actor(node));
+    if (daemon == nullptr) continue;
+    fulls += daemon->checkpoint_fulls();
+    deltas += daemon->checkpoint_deltas();
+    full_bytes += daemon->checkpoint_full_bytes();
+    delta_bytes += daemon->checkpoint_delta_bytes();
+  }
+  ASSERT_GT(fulls, 0u);
+  EXPECT_GT(deltas, 50u);
+  // A starved-iteration delta is a small fraction of a baseline frame.
+  EXPECT_LT(delta_bytes / deltas, full_bytes / fulls / 4);
+}
+
+TEST(DaemonBackup, RestoreFromDeltaChainsIsExact) {
+  // Failures land mid-chain, so replacements restore from baseline + deltas;
+  // the run must still converge to the true solution.
+  auto config = poisson_config(24, 4, 43, 100.0);
+  config.app.ckpt.chunk_size = 256;  // several chunks per state
+  config.disconnect_times = {1.5, 2.5, 4.0};
+  SimDeployment deployment(config);
+  const auto report = deployment.run();
+  ASSERT_TRUE(report.spawner.completed);
+  EXPECT_GE(report.restores_from_backup + report.restarts_from_zero,
+            report.spawner.replacements);
+  poisson::PoissonConfig pc;
+  pc.n = 24;
+  const auto x =
+      poisson::assemble_solution(24, 4, report.spawner.final_payloads);
+  EXPECT_LT(poisson::poisson_relative_residual(pc, x), 1e-3);
+}
+
+TEST(DaemonBackup, AdaptiveIntervalStaysInBoundsAndConverges) {
+  auto config = poisson_config(24, 4, 45, 100.0);
+  config.app.ckpt.adaptive_interval = true;
+  config.app.ckpt.min_interval = 2;
+  config.app.ckpt.max_interval = 16;
+  config.disconnect_times = {2.0};
+  config.reconnect = false;
+  SimDeployment deployment(config);
+  deployment.build();
+  deployment.world().run_until(3.0);
+  for (const auto node : deployment.daemon_nodes()) {
+    auto* daemon = dynamic_cast<Daemon*>(deployment.world().actor(node));
+    if (daemon == nullptr || daemon->checkpoint_fulls() == 0) continue;
+    EXPECT_GE(daemon->checkpoint_interval(), 2u);
+    EXPECT_LE(daemon->checkpoint_interval(), 16u);
+  }
+  deployment.world().clear_stop();
+  const auto report = deployment.run();
+  ASSERT_TRUE(report.spawner.completed);
+  poisson::PoissonConfig pc;
+  pc.n = 24;
+  const auto x =
+      poisson::assemble_solution(24, 4, report.spawner.final_payloads);
+  EXPECT_LT(poisson::poisson_relative_residual(pc, x), 1e-3);
+}
+
 }  // namespace
 }  // namespace jacepp::core

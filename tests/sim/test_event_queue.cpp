@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace jacepp::sim {
@@ -85,6 +86,71 @@ TEST(EventQueue, ManyEventsStressOrder) {
   double now = 0;
   while (!q.empty()) q.pop(&now)();
   EXPECT_TRUE(ordered);
+}
+
+TEST(EventQueue, CancelHeavyLoadKeepsMemoryBounded) {
+  // A periodic-timer workload: every tick schedules a far-future timeout and
+  // cancels the previous one. Lazily tombstoned, the heap would grow without
+  // bound (the timeouts are never popped); the eager purge must keep both the
+  // heap and the tombstone set proportional to the LIVE event count.
+  EventQueue q;
+  constexpr int kTicks = 50000;
+  EventId pending = q.schedule(1e9, [] {});
+  std::size_t max_heap = 0;
+  std::size_t max_cancelled = 0;
+  for (int i = 0; i < kTicks; ++i) {
+    q.cancel(pending);
+    pending = q.schedule(1e9 + i, [] {});
+    max_heap = std::max(max_heap, q.scheduled_count());
+    max_cancelled = std::max(max_cancelled, q.cancelled_count());
+  }
+  // One live event; a small constant bound, not O(kTicks).
+  EXPECT_LE(max_heap, 8u);
+  EXPECT_LE(max_cancelled, 8u);
+  EXPECT_FALSE(q.empty());
+  EXPECT_DOUBLE_EQ(q.next_time(), 1e9 + kTicks - 1);
+}
+
+TEST(EventQueue, StaleCancelsDoNotAccumulate) {
+  // Cancelling an id that was already popped must not leak a tombstone
+  // forever: the purge sweep clears the set wholesale.
+  EventQueue q;
+  for (int round = 0; round < 1000; ++round) {
+    const EventId id = q.schedule(static_cast<double>(round), [] {});
+    double now = 0;
+    q.pop(&now)();  // popped before the cancel arrives
+    q.cancel(id);   // stale
+  }
+  EXPECT_LE(q.cancelled_count(), 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PurgePreservesOrderAndLiveEvents) {
+  // Interleave schedules and cancels so several purges trigger mid-stream,
+  // then verify the surviving events still pop in exact time order.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 2000; ++i) {
+    ids.push_back(q.schedule(static_cast<double>((i * 7919) % 997),
+                             [&order, i] { order.push_back(i); }));
+  }
+  // Kill 3 out of every 4: the tombstone count crosses half the heap size,
+  // forcing at least one eager purge while cancels are still streaming in.
+  for (int i = 0; i < 2000; ++i) {
+    if (i % 4 != 3) q.cancel(ids[i]);
+  }
+  EXPECT_LE(q.cancelled_count(), q.scheduled_count() / 2 + 1);
+  double now = 0;
+  double last = -1.0;
+  while (!q.empty()) {
+    q.pop(&now)();
+    EXPECT_GE(now, last);
+    last = now;
+  }
+  EXPECT_EQ(order.size(), 500u);
+  for (const int i : order) EXPECT_EQ(i % 4, 3);
+  EXPECT_EQ(q.cancelled_count(), 0u);
 }
 
 }  // namespace
