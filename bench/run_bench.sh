@@ -7,22 +7,45 @@
 # side by side. Then runs bench_checkpoint once and writes $CKPT_OUT with the
 # full-vs-delta frame sizes and timings (the incremental-checkpoint payoff).
 #
+# Also runs bench_comm (the staleness-aware comm path ablation) and writes
+# $COMM_OUT. Every BENCH_*.json is stamped with a `meta` object recording the
+# git SHA, the machine's hardware thread count and the JACEPP_THREADS setting
+# the run used, so recorded numbers stay attributable to a revision.
+#
 # Usage:
-#   bench/run_bench.sh                 # writes BENCH_micro.json + BENCH_checkpoint.json
+#   bench/run_bench.sh                 # writes BENCH_micro/checkpoint/comm.json
 #   THREADS=8 OUT=/tmp/b.json bench/run_bench.sh
 #   BENCH_FILTER='BM_SpMV|BM_ConjugateGradient' bench/run_bench.sh
+#   COMM_ARGS=--smoke bench/run_bench.sh   # fast comm ablation (CI)
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
 OUT="${OUT:-${REPO_ROOT}/BENCH_micro.json}"
 CKPT_OUT="${CKPT_OUT:-${REPO_ROOT}/BENCH_checkpoint.json}"
+COMM_OUT="${COMM_OUT:-${REPO_ROOT}/BENCH_comm.json}"
 THREADS="${THREADS:-4}"
 BENCH_FILTER="${BENCH_FILTER:-.}"
+COMM_ARGS="${COMM_ARGS:-}"
 
-if [[ ! -x "${BUILD_DIR}/bench/bench_micro" || ! -x "${BUILD_DIR}/bench/bench_checkpoint" ]]; then
+GIT_SHA="$(git -C "${REPO_ROOT}" rev-parse HEAD 2>/dev/null || echo unknown)"
+HW_THREADS="$(nproc 2>/dev/null || echo 0)"
+
+# stamp FILE JACEPP_THREADS_VALUE — fold provenance into the JSON in place.
+stamp() {
+  local file="$1" jacepp_threads="$2" tmp
+  tmp="$(mktemp)"
+  jq --arg sha "${GIT_SHA}" \
+     --argjson hw "${HW_THREADS}" \
+     --arg jt "${jacepp_threads}" \
+     '. + {meta: {git_sha: $sha, hardware_threads: $hw, jacepp_threads: $jt}}' \
+     "${file}" > "${tmp}" && mv "${tmp}" "${file}"
+}
+
+if [[ ! -x "${BUILD_DIR}/bench/bench_micro" || ! -x "${BUILD_DIR}/bench/bench_checkpoint" \
+      || ! -x "${BUILD_DIR}/bench/bench_comm" ]]; then
   cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
-  cmake --build "${BUILD_DIR}" --target bench_micro bench_checkpoint -j
+  cmake --build "${BUILD_DIR}" --target bench_micro bench_checkpoint bench_comm -j
 fi
 
 serial_json="$(mktemp)"
@@ -45,6 +68,7 @@ jq -n \
   --argjson threads "${THREADS}" \
   '{threads: $threads, serial: $serial[0], parallel: $parallel[0]}' > "${OUT}"
 
+stamp "${OUT}" "1,${THREADS}"
 echo "wrote ${OUT}"
 jq -r '
   ((.serial.benchmarks // []) | map({(.name): .real_time}) | add // {}) as $s |
@@ -57,6 +81,7 @@ echo "== bench_checkpoint (full vs delta frames) =="
 "${BUILD_DIR}/bench/bench_checkpoint" \
   --benchmark_format=json > "${CKPT_OUT}"
 
+stamp "${CKPT_OUT}" "${JACEPP_THREADS:-default}"
 echo "wrote ${CKPT_OUT}"
 jq -r '
   .benchmarks[] |
@@ -66,3 +91,15 @@ jq -r '
     "\(.name): \(.real_time | floor)ns" + (if .frame_bytes != null then "  frame \(.frame_bytes | floor)B" else "" end)
   end
 ' "${CKPT_OUT}"
+
+echo "== bench_comm (coalescing off vs on${COMM_ARGS:+, ${COMM_ARGS}}) =="
+# The deployment sim is single-threaded; record the effective setting anyway.
+"${BUILD_DIR}/bench/bench_comm" ${COMM_ARGS} > "${COMM_OUT}"
+
+stamp "${COMM_OUT}" "${JACEPP_THREADS:-default}"
+echo "wrote ${COMM_OUT}"
+jq -r '
+  "slow-consumer : data msgs -\(.slow_consumer.data_message_reduction * 100 | floor)%  bytes -\(.slow_consumer.wire_byte_reduction * 100 | floor)%",
+  "flaky-consumer: data msgs -\(.flaky_consumer.data_message_reduction * 100 | floor)%  bytes -\(.flaky_consumer.wire_byte_reduction * 100 | floor)%",
+  "parity        : replay_bitwise \(.parity.replay_bitwise)  ok \(.parity.ok)"
+' "${COMM_OUT}"

@@ -35,4 +35,22 @@ struct TimingConfig {
                                        ///< then stalest, first); 0 = unbounded
 };
 
+/// Knobs for the staleness-aware comm path (net/link.hpp; DESIGN.md §8).
+/// Defaults keep the link layer dormant — `flush_window == 0` (and
+/// `serialize_links == false`) means both transports bypass it entirely and
+/// behave exactly as before this subsystem existed.
+struct CommConfig {
+  bool coalesce = true;          ///< latest-wins replacement of queued
+                                 ///< dependency data (only with a window)
+  double flush_window = 0.0;     ///< seconds a link accumulates between
+                                 ///< flushes; 0 disables the link layer
+  bool serialize_links = false;  ///< sim only: one in-flight frame per
+                                 ///< directed link (models a busy NIC, makes
+                                 ///< backlogs — and coalescing — visible)
+  std::size_t max_queue_bytes = 4u << 20;   ///< per-link byte budget
+  std::size_t max_queue_messages = 4096;    ///< per-link count budget
+  std::size_t max_batch_messages = 32;      ///< control messages per Batch
+  std::size_t max_batch_bytes = 16 * 1024;  ///< body bytes per Batch
+};
+
 }  // namespace jacepp::core

@@ -398,6 +398,7 @@ void Daemon::finish_iteration() {
     data.app_id = app_.app_id;
     data.from_task = task_id_;
     data.to_task = out.to_task;
+    data.tag = out.tag;
     data.iteration = iteration_;
     data.payload = std::move(out.payload);
     rmi::invoke(*env_, to, data);

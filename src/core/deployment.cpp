@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/daemon.hpp"
+#include "core/messages.hpp"
 #include "core/super_peer.hpp"
 #include "support/assert.hpp"
 #include "support/logging.hpp"
@@ -21,6 +22,10 @@ std::vector<double> uniform_disconnect_schedule(std::size_t count, double start,
 
 SimDeployment::SimDeployment(SimDeploymentConfig config)
     : config_(std::move(config)) {
+  // The comm knobs translate into the world's link-layer config before the
+  // world exists; SimConfig::link stays an escape hatch for direct sim users.
+  config_.sim.link = msg::link_config_from(config_.comm);
+  config_.sim.serialize_links = config_.comm.serialize_links;
   world_ = std::make_unique<sim::SimWorld>(config_.sim);
 }
 
@@ -135,6 +140,7 @@ SimExperimentReport SimDeployment::run() {
     }
   }
   report_.net = world_->stats();
+  report_.comm = world_->comm_stats().snapshot();
   report_.sim_end_time = world_->now();
   return report_;
 }

@@ -25,6 +25,7 @@ struct SimDeploymentConfig {
   std::size_t daemon_count = 100;     ///< paper §7: about 100 daemons
   AppDescriptor app;                  ///< what the spawner launches
   TimingConfig timing;
+  CommConfig comm;                    ///< staleness-aware comm path knobs
   sim::SimConfig sim;
   sim::FleetModel fleet;
 
@@ -52,6 +53,7 @@ std::vector<double> uniform_disconnect_schedule(std::size_t count, double start,
 struct SimExperimentReport {
   SpawnerReport spawner;
   sim::NetStats net;
+  net::CommStatsSnapshot comm;  ///< link-layer counters (zero when inactive)
   double sim_end_time = 0.0;
   std::size_t disconnections_executed = 0;
   std::size_t reconnections_executed = 0;

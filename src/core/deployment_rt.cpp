@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "core/daemon.hpp"
+#include "core/messages.hpp"
 #include "core/super_peer.hpp"
 #include "support/assert.hpp"
 
@@ -25,7 +26,8 @@ TimingConfig fast_rt_timing() {
 
 RtDeployment::RtDeployment(RtDeploymentConfig config)
     : config_(std::move(config)), rng_(config_.seed) {
-  runtime_ = std::make_unique<rt::ThreadRuntime>(config_.seed);
+  runtime_ = std::make_unique<rt::ThreadRuntime>(
+      config_.seed, msg::link_config_from(config_.comm));
 }
 
 RtDeployment::~RtDeployment() {

@@ -27,6 +27,7 @@ struct RtDeploymentConfig {
   std::size_t daemon_count = 4;
   AppDescriptor app;
   TimingConfig timing = fast_rt_timing();
+  CommConfig comm;  ///< staleness-aware comm path knobs (flush_window > 0 enables)
   std::uint64_t seed = 42;
 };
 

@@ -126,7 +126,8 @@ std::vector<OutgoingData> GenericMultisplitTask::outgoing() {
     }
     serial::Writer writer;
     writer.f64_vector(values);
-    out.push_back(OutgoingData{peer, writer.take()});
+    // One halo-export stream per peer, so tag 0 throughout.
+    out.push_back(OutgoingData{peer, writer.take(), 0});
   }
   return out;
 }

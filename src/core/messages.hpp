@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "core/app.hpp"
+#include "core/config.hpp"
+#include "net/link.hpp"
 #include "net/message.hpp"
 #include "net/stub.hpp"
 #include "serial/serial.hpp"
@@ -190,12 +192,18 @@ struct RegisterUpdate {
 // ---------------------------------------------------------------------------
 
 /// Daemon → Daemon: one task's dependency data for another task (latest-wins
-/// by `iteration` on the receiving side; lost messages are tolerated).
+/// by `iteration` on the receiving side; lost messages are tolerated). `tag`
+/// distinguishes independent update streams between the same task pair (a
+/// Poisson task sends its lower and upper boundary lines as separate
+/// streams): the link layer coalesces per (app, from, to, tag), never across
+/// tags. The four stream-key fields lead the encoding so a classifier can
+/// peek them without touching the payload.
 struct TaskData {
   static constexpr net::MessageType kType = 11;
   AppId app_id = 0;
   TaskId from_task = 0;
   TaskId to_task = 0;
+  std::uint32_t tag = 0;
   std::uint64_t iteration = 0;
   serial::Bytes payload;
 
@@ -203,6 +211,7 @@ struct TaskData {
     w.u32(app_id);
     w.u32(from_task);
     w.u32(to_task);
+    w.u32(tag);
     w.u64(iteration);
     w.bytes(payload);
   }
@@ -211,6 +220,7 @@ struct TaskData {
     m.app_id = r.u32();
     m.from_task = r.u32();
     m.to_task = r.u32();
+    m.tag = r.u32();
     m.iteration = r.u64();
     m.payload = r.bytes();
     return m;
@@ -423,5 +433,53 @@ struct FinalState {
     return m;
   }
 };
+
+// ---------------------------------------------------------------------------
+// Delivery classes (net/link.hpp; DESIGN.md §8)
+// ---------------------------------------------------------------------------
+
+/// The Data-vs-Control split for the whole catalogue. Only TaskData is Data:
+/// the asynchronous model makes a superseded halo update equivalent to an
+/// ordinary lost message. Everything else is Control — including SaveBackup,
+/// whose delta frames are sequence-sensitive per holder (a skipped frame
+/// forces a gap-NACK and a full rebase, so "coalescing" them would cost more
+/// than it saves), and LocalStateReport, whose 1/0 *transitions* must all
+/// reach the convergence board (§5.5).
+constexpr net::DeliveryClass delivery_class_of(net::MessageType type) {
+  return type == TaskData::kType ? net::DeliveryClass::Data
+                                 : net::DeliveryClass::Control;
+}
+
+/// The canonical link classifier. Peeks TaskData's leading stream-key fields
+/// (app, from_task, to_task, tag — four fixed u32s) without decoding the
+/// payload. A TaskData too short to carry them is classified Control, which
+/// is always safe (never coalesced, never dropped).
+inline net::Classification classify_for_link(const net::Message& m) {
+  if (delivery_class_of(m.type) != net::DeliveryClass::Data) return {};
+  serial::Reader r(m.body.bytes());
+  const std::uint32_t app = r.u32();
+  const std::uint32_t from_task = r.u32();
+  const std::uint32_t to_task = r.u32();
+  const std::uint32_t tag = r.u32();
+  if (!r.ok()) return {};
+  return net::Classification{
+      net::DeliveryClass::Data,
+      (static_cast<std::uint64_t>(app) << 32) | from_task,
+      (static_cast<std::uint64_t>(to_task) << 32) | tag};
+}
+
+/// CommConfig (user knobs, core/config.hpp) -> LinkConfig (net mechanism)
+/// with the canonical classifier installed.
+inline net::LinkConfig link_config_from(const CommConfig& comm) {
+  net::LinkConfig lc;
+  lc.classifier = &classify_for_link;
+  lc.coalesce = comm.coalesce;
+  lc.flush_window = comm.flush_window;
+  lc.max_queue_bytes = comm.max_queue_bytes;
+  lc.max_queue_messages = comm.max_queue_messages;
+  lc.max_batch_messages = comm.max_batch_messages;
+  lc.max_batch_bytes = comm.max_batch_bytes;
+  return lc;
+}
 
 }  // namespace jacepp::core::msg

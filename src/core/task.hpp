@@ -28,10 +28,15 @@
 namespace jacepp::core {
 
 /// Dependency data produced by an iteration, addressed by task id; the daemon
-/// resolves task ids to daemon stubs through the Application Register.
+/// resolves task ids to daemon stubs through the Application Register. `tag`
+/// names the update stream when one task sends several independent pieces of
+/// data to the same neighbour (e.g. lower vs upper boundary lines) — the
+/// link layer's latest-wins coalescing replaces superseded messages only
+/// within one (app, from, to, tag) stream.
 struct OutgoingData {
   TaskId to_task = 0;
   serial::Bytes payload;
+  std::uint32_t tag = 0;
 };
 
 class Task {

@@ -208,17 +208,20 @@ std::vector<core::OutgoingData> PoissonTask::outgoing() {
     return writer.take();
   };
 
+  // Stream tags name the boundary direction: the line a neighbour receives
+  // from below (tag 0) vs from above (tag 1). Each (pair, tag) is one
+  // latest-wins stream in the link layer.
   if (task_id_ > 0) {
     // The predecessor's extended block ends at my owned_lo + overlap; it
     // needs the line right above that boundary.
     const std::size_t start = block_.owned_lo + overlap_rows;
-    out.push_back(core::OutgoingData{task_id_ - 1, extract_line(start)});
+    out.push_back(core::OutgoingData{task_id_ - 1, extract_line(start), 1});
   }
   if (task_id_ + 1 < task_count_) {
     // The successor's extended block starts at my owned_hi - overlap; it
     // needs the line right below that boundary.
     const std::size_t start = block_.owned_hi - overlap_rows - n;
-    out.push_back(core::OutgoingData{task_id_ + 1, extract_line(start)});
+    out.push_back(core::OutgoingData{task_id_ + 1, extract_line(start), 0});
   }
   return out;
 }

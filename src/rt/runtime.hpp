@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "net/env.hpp"
+#include "net/link.hpp"
 #include "net/message.hpp"
 #include "net/stub.hpp"
 #include "support/queue.hpp"
@@ -29,14 +30,18 @@
 namespace jacepp::rt {
 
 struct RtStats {
-  std::atomic<std::uint64_t> sent{0};
-  std::atomic<std::uint64_t> delivered{0};
+  std::atomic<std::uint64_t> sent{0};       ///< frames handed to the router
+  std::atomic<std::uint64_t> delivered{0};  ///< frames that reached a mailbox
   std::atomic<std::uint64_t> lost{0};
+  std::atomic<std::uint64_t> corrupt_frames{0};  ///< Batch CRC/framing fails
 };
 
 class ThreadRuntime {
  public:
-  explicit ThreadRuntime(std::uint64_t seed = 42);
+  /// `link` configures the staleness-aware comm path (net/link.hpp). The
+  /// default — flush_window 0 — bypasses it: every send routes straight to
+  /// the destination mailbox exactly as before the link layer existed.
+  explicit ThreadRuntime(std::uint64_t seed = 42, net::LinkConfig link = {});
   ~ThreadRuntime();
 
   ThreadRuntime(const ThreadRuntime&) = delete;
@@ -68,6 +73,7 @@ class ThreadRuntime {
   [[nodiscard]] net::Actor* actor(net::NodeId node);
 
   RtStats& stats() { return stats_; }
+  net::CommStats& comm_stats() { return comm_stats_; }
 
  private:
   class WorkerEnv;
@@ -85,6 +91,17 @@ class ThreadRuntime {
     net::Message message;  // for Deliver
   };
 
+  /// Per-destination outbound link of one worker. Touched only by the owning
+  /// worker thread (sends and flush timers both run there); only the shared
+  /// CommStats inside net::Link uses atomics.
+  struct WorkerLink {
+    net::Link link;
+    std::chrono::steady_clock::time_point next_flush{};
+    bool flush_armed = false;
+    WorkerLink(const net::LinkConfig* config, net::CommStats* stats)
+        : link(config, stats) {}
+  };
+
   struct Worker {
     std::unique_ptr<net::Actor> actor;
     std::unique_ptr<WorkerEnv> env;
@@ -100,10 +117,14 @@ class ThreadRuntime {
     std::vector<net::TimerId> cancelled;
     bool stop_requested = false;
     bool crashed = false;
+    // Outbound links, worker-thread-only (see WorkerLink).
+    std::unordered_map<net::NodeId, std::unique_ptr<WorkerLink>> links;
   };
 
   void worker_loop(Worker* worker);
   void route(const net::Stub& to, net::Message message);
+  void flush_worker_link(Worker* worker, WorkerLink* wl);
+  void flush_all_worker_links(Worker* worker);
   Worker* find_worker(net::NodeId node);
 
   std::chrono::steady_clock::time_point epoch_;
@@ -117,6 +138,8 @@ class ThreadRuntime {
   std::mutex exit_mutex_;
   std::condition_variable exit_cv_;
   RtStats stats_;
+  net::LinkConfig link_config_;
+  net::CommStats comm_stats_;
 };
 
 }  // namespace jacepp::rt

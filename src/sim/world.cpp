@@ -107,6 +107,12 @@ void SimWorld::disconnect(net::NodeId node_id) {
   auto it = nodes_.find(node_id);
   if (it == nodes_.end() || !it->second.up) return;
   it->second.up = false;
+  // Outbound link queues die with the sender: a crashed node emits nothing,
+  // and a revived incarnation starts with empty queues.
+  for (auto link_it = links_.begin(); link_it != links_.end();) {
+    link_it = link_it->first.from == node_id ? links_.erase(link_it)
+                                             : std::next(link_it);
+  }
   JACEPP_LOG(Debug, "sim", "node %llu disconnected at %.3f",
              static_cast<unsigned long long>(node_id), now_);
 }
@@ -183,8 +189,67 @@ void SimWorld::send_from(net::NodeId from_id, const net::Stub& to,
   message.from = from.stub;
 
   ++stats_.sent;
-  stats_.bytes_sent += message.wire_size();
   ++stats_.sent_by_type[message.type];
+
+  if (!link_layer_active()) {
+    transmit_wire(from_id, to, std::move(message), nullptr);
+    return;
+  }
+  auto [it, inserted] =
+      links_.try_emplace(LinkKey{from_id, to.node}, &config_.link, &comm_stats_);
+  it->second.link.enqueue(std::move(message), to);
+  pump_link(from_id, to.node);
+}
+
+void SimWorld::pump_link(net::NodeId from_id, net::NodeId to_node) {
+  auto it = links_.find(LinkKey{from_id, to_node});
+  if (it == links_.end()) return;
+  LinkState& ls = it->second;
+  auto from_it = nodes_.find(from_id);
+  // A crashed sender's queues die with it (disconnect() erases them; this
+  // also guards flush/occupancy events that were already in flight).
+  if (from_it == nodes_.end() || !from_it->second.up) return;
+
+  while (!(config_.serialize_links && ls.busy)) {
+    if (ls.link.empty()) break;
+    if (now_ < ls.next_flush) {
+      // Nagle-style accumulation: the first send after an idle period left
+      // immediately and opened a window; everything arriving inside it
+      // coalesces/batches until the flush event fires.
+      if (!ls.flush_armed) {
+        ls.flush_armed = true;
+        const LinkKey key{from_id, to_node};
+        queue_.schedule(ls.next_flush, [this, key] {
+          auto it2 = links_.find(key);
+          if (it2 == links_.end()) return;
+          it2->second.flush_armed = false;
+          pump_link(key.from, key.to);
+        });
+      }
+      break;
+    }
+    auto frame = ls.link.next_wire_frame();
+    if (!frame) break;
+    transmit_wire(from_id, frame->to, std::move(frame->message), &ls);
+    if (ls.link.empty() && config_.link.flush_window > 0.0) {
+      ls.next_flush = now_ + config_.link.flush_window;
+    }
+  }
+}
+
+double SimWorld::occupancy_delay(const Node& from, const Node& to,
+                                 std::size_t bytes) {
+  // Sender-side wire occupancy: software overhead plus serialization onto
+  // the slower NIC. Deterministic (no jitter), so frame ordering on a link
+  // is stable across runs regardless of the jitter draws on delivery.
+  const double bandwidth = std::min(from.spec.bandwidth_bps, to.spec.bandwidth_bps);
+  return from.spec.message_overhead_s + static_cast<double>(bytes) * 8.0 / bandwidth;
+}
+
+void SimWorld::transmit_wire(net::NodeId from_id, const net::Stub& to,
+                             net::Message message, LinkState* ls) {
+  Node& from = node_ref(from_id);
+  stats_.bytes_sent += message.wire_size();
 
   auto dest_it = nodes_.find(to.node);
   if (dest_it == nodes_.end() || !dest_it->second.up) {
@@ -197,6 +262,19 @@ void SimWorld::send_from(net::NodeId from_id, const net::Stub& to,
       dest_it->second.stub.incarnation != to.incarnation) {
     ++stats_.lost_stale;
     return;
+  }
+
+  if (ls != nullptr && config_.serialize_links) {
+    ls->busy = true;
+    const double occupancy =
+        occupancy_delay(from, dest_it->second, message.wire_size());
+    const LinkKey key{from_id, to.node};
+    queue_.schedule(now_ + occupancy, [this, key] {
+      auto it = links_.find(key);
+      if (it == links_.end()) return;
+      it->second.busy = false;
+      pump_link(key.from, key.to);
+    });
   }
 
   const double delay = transfer_delay(from, dest_it->second, message.wire_size());
@@ -212,7 +290,22 @@ void SimWorld::send_from(net::NodeId from_id, const net::Stub& to,
     }
     ++stats_.delivered;
     Node& dest = node_ref(dest_id);
-    dest.actor->on_message(msg, *dest.env);
+    if (msg.type == net::kBatchMessageType) {
+      std::vector<net::Message> parts;
+      if (!net::unpack_batch(msg, parts)) {
+        ++stats_.corrupt_frames;
+        return;
+      }
+      for (net::Message& part : parts) {
+        // An earlier sub-message may have shut the actor down mid-batch.
+        if (!alive_at(dest_id, dest_inc)) break;
+        ++stats_.delivered_by_type[part.type];
+        dest.actor->on_message(part, *dest.env);
+      }
+    } else {
+      ++stats_.delivered_by_type[msg.type];
+      dest.actor->on_message(msg, *dest.env);
+    }
   });
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "net/env.hpp"
+#include "net/link.hpp"
 #include "net/message.hpp"
 #include "net/stub.hpp"
 #include "sim/event_queue.hpp"
@@ -32,12 +33,15 @@
 namespace jacepp::sim {
 
 struct NetStats {
-  std::uint64_t sent = 0;
-  std::uint64_t delivered = 0;
+  std::uint64_t sent = 0;         ///< actor-level sends (pre link layer)
+  std::uint64_t delivered = 0;    ///< wire frames delivered (a Batch is one)
   std::uint64_t lost_down = 0;    ///< destination node disconnected
   std::uint64_t lost_stale = 0;   ///< destination incarnation outdated
-  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_sent = 0;   ///< wire bytes (post coalescing/batching)
+  std::uint64_t corrupt_frames = 0;  ///< Batch envelopes failing CRC/framing
   std::unordered_map<net::MessageType, std::uint64_t> sent_by_type;
+  /// Actor-level messages delivered (Batch sub-messages counted one by one).
+  std::unordered_map<net::MessageType, std::uint64_t> delivered_by_type;
 
   [[nodiscard]] std::uint64_t lost() const { return lost_down + lost_stale; }
 };
@@ -47,6 +51,15 @@ struct SimConfig {
   double max_time = 1e8;          ///< hard stop (simulated seconds)
   double message_jitter = 0.05;   ///< fractional +/- jitter on transfer delay
   double compute_jitter = 0.02;   ///< fractional +/- jitter on compute time
+  /// Staleness-aware comm path (net/link.hpp). Dormant unless
+  /// `link.flush_window > 0` or `serialize_links` — when dormant, every send
+  /// bypasses the link layer and behaves exactly as before it existed.
+  net::LinkConfig link;
+  /// Model one in-flight frame per directed link: the next frame leaves only
+  /// after the previous one's transmission occupancy (overhead + bytes/bw)
+  /// elapses. Makes slow-consumer backlogs — and what coalescing saves — show
+  /// up in delivered-message counts instead of just queue lengths.
+  bool serialize_links = false;
 };
 
 class SimWorld {
@@ -101,6 +114,14 @@ class SimWorld {
   Rng& rng() { return rng_; }
   NetStats& stats() { return stats_; }
   const NetStats& stats() const { return stats_; }
+  net::CommStats& comm_stats() { return comm_stats_; }
+  const net::CommStats& comm_stats() const { return comm_stats_; }
+
+  /// True when sends go through per-link queues instead of straight onto the
+  /// wire (see SimConfig::link / serialize_links).
+  [[nodiscard]] bool link_layer_active() const {
+    return config_.serialize_links || config_.link.flush_window > 0.0;
+  }
 
  private:
   class NodeEnv;
@@ -127,6 +148,38 @@ class SimWorld {
   void send_from(net::NodeId from, const net::Stub& to, net::Message message);
   double transfer_delay(const Node& from, const Node& to, std::size_t bytes);
 
+  // --- staleness-aware link layer (net/link.hpp) ---
+  struct LinkKey {
+    net::NodeId from = 0;
+    net::NodeId to = 0;
+    bool operator==(const LinkKey& other) const {
+      return from == other.from && to == other.to;
+    }
+  };
+  struct LinkKeyHash {
+    std::size_t operator()(const LinkKey& k) const {
+      return std::hash<net::NodeId>{}(k.from * 0x9E3779B97F4A7C15ull ^ k.to);
+    }
+  };
+  struct LinkState {
+    net::Link link;
+    bool busy = false;          ///< a frame occupies the wire (serialize_links)
+    double next_flush = 0.0;    ///< earliest time the next flush may start
+    bool flush_armed = false;   ///< a flush event is already scheduled
+    LinkState(const net::LinkConfig* config, net::CommStats* stats)
+        : link(config, stats) {}
+  };
+
+  /// Transmit queued frames of (from, to) subject to the flush window and,
+  /// with serialize_links, one-frame-in-flight occupancy.
+  void pump_link(net::NodeId from, net::NodeId to);
+  /// Put one frame on the wire: liveness/incarnation checks, transfer delay,
+  /// delivery scheduling (Batch envelopes unpack at the destination). `ls` is
+  /// non-null when the frame came off a link queue (occupancy accounting).
+  void transmit_wire(net::NodeId from, const net::Stub& to,
+                     net::Message message, LinkState* ls);
+  double occupancy_delay(const Node& from, const Node& to, std::size_t bytes);
+
   SimConfig config_;
   Rng rng_;
   EventQueue queue_;
@@ -135,6 +188,8 @@ class SimWorld {
   net::NodeId next_node_ = 1;
   std::unordered_map<net::NodeId, Node> nodes_;
   NetStats stats_;
+  std::unordered_map<LinkKey, LinkState, LinkKeyHash> links_;
+  net::CommStats comm_stats_;
 };
 
 }  // namespace jacepp::sim

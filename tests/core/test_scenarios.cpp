@@ -31,8 +31,12 @@ AppDescriptor poisson_app(AppId id, std::uint32_t n, std::uint32_t tasks,
   app.task_count = tasks;
   app.checkpoint_every = 3;
   app.backup_peer_count = 2;
-  app.convergence_threshold = 1e-6;
-  app.stable_iterations_required = 3;
+  app.convergence_threshold = 1e-7;
+  // 5 consecutive stable iterations, not 3: the update-distance stopping rule
+  // is a heuristic, and these scenarios assert on the residual of whatever
+  // answer it halts at — a thin stability requirement makes that assertion
+  // hostage to the exact async trajectory (message sizes, jitter draws).
+  app.stable_iterations_required = 5;
   return app;
 }
 
@@ -48,7 +52,10 @@ TEST(Scenarios, TwoApplicationsShareOneNetwork) {
   // Paper §4.2: "Several applications can be executed in the JaceP2P network
   // at the same time, but a Daemon can only run a single Task at a given
   // time."
-  sim::SimWorld world(sim::SimConfig{97, 1e6, 0.05, 0.02});
+  sim::SimConfig world_config;
+  world_config.seed = 97;
+  world_config.max_time = 1e6;
+  sim::SimWorld world(world_config);
 
   // Two super-peers.
   std::vector<net::Stub> sp_stubs;

@@ -37,13 +37,20 @@ class ReserveProbe : public net::Actor {
 };
 
 struct Scenario {
+  static sim::SimConfig sim_config(std::uint64_t seed) {
+    sim::SimConfig c;
+    c.seed = seed;
+    c.max_time = 1e6;
+    return c;
+  }
+
   sim::SimWorld world;
   std::vector<SuperPeer*> sps;
   std::vector<net::Stub> sp_stubs;
   std::vector<net::Stub> sp_addresses;
 
   explicit Scenario(std::size_t sp_count, std::uint64_t seed = 1)
-      : world(sim::SimConfig{seed, 1e6, 0.05, 0.02}) {
+      : world(sim_config(seed)) {
     for (std::size_t i = 0; i < sp_count; ++i) {
       auto sp = std::make_unique<SuperPeer>();
       sps.push_back(sp.get());
