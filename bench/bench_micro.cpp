@@ -4,6 +4,7 @@
 
 #include "linalg/cg.hpp"
 #include "linalg/csr.hpp"
+#include "linalg/fused.hpp"
 #include "core/messages.hpp"
 #include "net/message.hpp"
 #include "poisson/block_task.hpp"
@@ -31,6 +32,68 @@ void BM_SpMV(benchmark::State& state) {
 }
 BENCHMARK(BM_SpMV)->Arg(32)->Arg(64)->Arg(128);
 
+// Unfused residual evaluation: r = b - Ax then ||r|| — three passes over the
+// vectors. Pairs with BM_SpmvResidualFused below (one pass).
+void BM_SpmvResidualUnfused(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = poisson::assemble_laplacian(n);
+  linalg::Vector x(n * n, 1.0);
+  linalg::Vector b(n * n, 2.0);
+  linalg::Vector ax(n * n);
+  linalg::Vector r(n * n);
+  for (auto _ : state) {
+    a.multiply(x, ax);
+    linalg::residual(b, ax, r);
+    const double norm = linalg::norm2(r);
+    benchmark::DoNotOptimize(norm);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_SpmvResidualUnfused)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SpmvResidualFused(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = poisson::assemble_laplacian(n);
+  linalg::Vector x(n * n, 1.0);
+  linalg::Vector b(n * n, 2.0);
+  linalg::Vector r(n * n);
+  for (auto _ : state) {
+    const double norm = linalg::spmv_residual_norm2(a, x, b, r);
+    benchmark::DoNotOptimize(norm);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_SpmvResidualFused)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_AxpyNorm2Unfused(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  linalg::Vector x(n, 1.0 / static_cast<double>(n));
+  linalg::Vector y(n, 1.0);
+  for (auto _ : state) {
+    linalg::axpy(1e-9, x, y);
+    const double norm = linalg::norm2(y);
+    benchmark::DoNotOptimize(norm);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AxpyNorm2Unfused)->Arg(4096)->Arg(65536);
+
+void BM_AxpyNorm2Fused(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  linalg::Vector x(n, 1.0 / static_cast<double>(n));
+  linalg::Vector y(n, 1.0);
+  for (auto _ : state) {
+    const double norm = linalg::axpy_norm2(1e-9, x, y);
+    benchmark::DoNotOptimize(norm);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AxpyNorm2Fused)->Arg(4096)->Arg(65536);
+
 void BM_ConjugateGradient(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto mp = poisson::make_manufactured_problem(n, 7);
@@ -45,6 +108,24 @@ void BM_ConjugateGradient(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConjugateGradient)->Arg(16)->Arg(32)->Arg(64);
+
+// Same solve with the fused kernels disabled (CgOptions::fused = false): the
+// pre-fusion hot path, kept as the ablation baseline.
+void BM_ConjugateGradientUnfused(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto mp = poisson::make_manufactured_problem(n, 7);
+  linalg::CgOptions options;
+  options.tolerance = 1e-8;
+  options.max_iterations = 10 * n * n;
+  options.fused = false;
+  for (auto _ : state) {
+    linalg::Vector x;
+    const auto result =
+        linalg::conjugate_gradient(mp.problem.a, mp.problem.b, x, options);
+    benchmark::DoNotOptimize(result.residual_norm);
+  }
+}
+BENCHMARK(BM_ConjugateGradientUnfused)->Arg(16)->Arg(32)->Arg(64);
 
 void BM_SerializeBoundaryLine(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

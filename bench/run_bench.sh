@@ -7,16 +7,19 @@
 # side by side. Then runs bench_checkpoint once and writes $CKPT_OUT with the
 # full-vs-delta frame sizes and timings (the incremental-checkpoint payoff).
 #
-# Also runs bench_comm (the staleness-aware comm path ablation) and writes
-# $COMM_OUT. Every BENCH_*.json is stamped with a `meta` object recording the
-# git SHA, the machine's hardware thread count and the JACEPP_THREADS setting
-# the run used, so recorded numbers stay attributable to a revision.
+# Also runs bench_comm (the staleness-aware comm path ablation, $COMM_OUT)
+# and bench_hotpath (the fused/early-send/pool iteration hot-path ablation,
+# $HOTPATH_OUT). Every BENCH_*.json is stamped with a `meta` object recording
+# the git SHA, the machine's hardware thread count and the JACEPP_THREADS
+# setting the run used, so recorded numbers stay attributable to a revision.
+# After writing, scripts/bench_guard.sh compares each file against the
+# committed baseline and prints warn-only regression notices.
 #
 # Usage:
-#   bench/run_bench.sh                 # writes BENCH_micro/checkpoint/comm.json
+#   bench/run_bench.sh          # writes BENCH_micro/checkpoint/comm/hotpath.json
 #   THREADS=8 OUT=/tmp/b.json bench/run_bench.sh
 #   BENCH_FILTER='BM_SpMV|BM_ConjugateGradient' bench/run_bench.sh
-#   COMM_ARGS=--smoke bench/run_bench.sh   # fast comm ablation (CI)
+#   COMM_ARGS=--smoke HOTPATH_ARGS=--smoke bench/run_bench.sh   # fast (CI)
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -24,9 +27,11 @@ BUILD_DIR="${BUILD_DIR:-${REPO_ROOT}/build}"
 OUT="${OUT:-${REPO_ROOT}/BENCH_micro.json}"
 CKPT_OUT="${CKPT_OUT:-${REPO_ROOT}/BENCH_checkpoint.json}"
 COMM_OUT="${COMM_OUT:-${REPO_ROOT}/BENCH_comm.json}"
+HOTPATH_OUT="${HOTPATH_OUT:-${REPO_ROOT}/BENCH_hotpath.json}"
 THREADS="${THREADS:-4}"
 BENCH_FILTER="${BENCH_FILTER:-.}"
 COMM_ARGS="${COMM_ARGS:-}"
+HOTPATH_ARGS="${HOTPATH_ARGS:-}"
 
 GIT_SHA="$(git -C "${REPO_ROOT}" rev-parse HEAD 2>/dev/null || echo unknown)"
 HW_THREADS="$(nproc 2>/dev/null || echo 0)"
@@ -43,9 +48,9 @@ stamp() {
 }
 
 if [[ ! -x "${BUILD_DIR}/bench/bench_micro" || ! -x "${BUILD_DIR}/bench/bench_checkpoint" \
-      || ! -x "${BUILD_DIR}/bench/bench_comm" ]]; then
+      || ! -x "${BUILD_DIR}/bench/bench_comm" || ! -x "${BUILD_DIR}/bench/bench_hotpath" ]]; then
   cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
-  cmake --build "${BUILD_DIR}" --target bench_micro bench_checkpoint bench_comm -j
+  cmake --build "${BUILD_DIR}" --target bench_micro bench_checkpoint bench_comm bench_hotpath -j
 fi
 
 serial_json="$(mktemp)"
@@ -103,3 +108,17 @@ jq -r '
   "flaky-consumer: data msgs -\(.flaky_consumer.data_message_reduction * 100 | floor)%  bytes -\(.flaky_consumer.wire_byte_reduction * 100 | floor)%",
   "parity        : replay_bitwise \(.parity.replay_bitwise)  ok \(.parity.ok)"
 ' "${COMM_OUT}"
+
+echo "== bench_hotpath (fused / early-send / pool ablation${HOTPATH_ARGS:+, ${HOTPATH_ARGS}}) =="
+"${BUILD_DIR}/bench/bench_hotpath" ${HOTPATH_ARGS} > "${HOTPATH_OUT}"
+
+stamp "${HOTPATH_OUT}" "${JACEPP_THREADS:-default}"
+echo "wrote ${HOTPATH_OUT}"
+jq -r '
+  "fused     : residual \(.fused.kernels.spmv_residual_norm2.speedup)x  dot \(.fused.kernels.spmv_dot.speedup)x  axpy \(.fused.kernels.axpy_norm2.speedup)x  cg \(.fused.cg.speedup)x  bit-identical \(.fused.ok)",
+  "early-send: exec \(.early_send.runs.off.execution_time_s)s -> \(.early_send.runs.on.execution_time_s)s  replay_bitwise \(.early_send.replay_bitwise)  ok \(.early_send.ok)",
+  "pool      : encode \(.pool.encode.speedup)x  deployment reuse_rate \(.pool.deployment.reuse_rate)"
+' "${HOTPATH_OUT}"
+
+echo "== bench-guard (warn-only, vs committed baseline) =="
+"${REPO_ROOT}/scripts/bench_guard.sh" "${OUT}" "${CKPT_OUT}" "${COMM_OUT}" "${HOTPATH_OUT}"

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Warn-only perf-regression guard: compare freshly written BENCH_*.json files
+# against the committed baseline (git HEAD) and print a warning for every
+# lower-is-better metric that got more than BENCH_GUARD_TOL (default 30%)
+# worse. Purely advisory — always exits 0 — because bench numbers move with
+# the machine; the point is to make a perf cliff visible in the run log, not
+# to gate CI on timing noise.
+#
+# Usage: scripts/bench_guard.sh BENCH_micro.json [BENCH_hotpath.json ...]
+set -uo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+TOL="${BENCH_GUARD_TOL:-0.30}"
+
+# Emit "metric value" lines for the lower-is-better timings of a bench file.
+metrics_for() {
+  local file="$1"
+  case "$(basename "${file}")" in
+    BENCH_micro.json)
+      jq -r '
+        ((.serial.benchmarks // [])[] | "serial/\(.name) \(.real_time)"),
+        ((.parallel.benchmarks // [])[] | "parallel/\(.name) \(.real_time)")
+      ' "${file}" ;;
+    BENCH_checkpoint.json)
+      jq -r '(.benchmarks // [])[] | "\(.name) \(.real_time)"' "${file}" ;;
+    BENCH_comm.json)
+      jq -r '
+        ((.slow_consumer.runs // {}) | to_entries[]
+          | "slow/\(.key)/exec_s \(.value.execution_time_s)"),
+        ((.flaky_consumer.runs // {}) | to_entries[]
+          | "flaky/\(.key)/exec_s \(.value.execution_time_s)")
+      ' "${file}" ;;
+    BENCH_hotpath.json)
+      jq -r '
+        ((.fused.kernels // {}) | to_entries[]
+          | "fused/\(.key)_ns \(.value.fused_ns)"),
+        "fused/cg_ms \(.fused.cg.fused_ms)",
+        ((.early_send.runs // {}) | to_entries[]
+          | "early/\(.key)/exec_s \(.value.execution_time_s)"),
+        "pool/encode_ns \(.pool.encode.pooled_ns)"
+      ' "${file}" ;;
+    *) ;;
+  esac
+}
+
+total_warnings=0
+for file in "$@"; do
+  name="$(basename "${file}")"
+  if [[ ! -f "${file}" ]]; then
+    echo "bench-guard: ${name}: missing, skipped"
+    continue
+  fi
+  baseline="$(mktemp)"
+  if ! git -C "${REPO_ROOT}" show "HEAD:${name}" > "${baseline}" 2>/dev/null; then
+    echo "bench-guard: ${name}: no committed baseline, skipped"
+    rm -f "${baseline}"
+    continue
+  fi
+
+  fresh_metrics="$(metrics_for "${file}")"
+  base_metrics="$(metrics_for "${baseline}")"
+  rm -f "${baseline}"
+
+  warnings="$(awk -v tol="${TOL}" -v file="${name}" '
+    NR == FNR { base[$1] = $2; next }
+    ($1 in base) && base[$1] > 0 && $2 > base[$1] * (1 + tol) {
+      printf "bench-guard: WARNING %s %s: %.0f -> %.0f (+%.0f%%, tolerance %.0f%%)\n",
+             file, $1, base[$1], $2, ($2 / base[$1] - 1) * 100, tol * 100
+      n++
+    }
+    END { exit n > 0 ? 1 : 0 }
+  ' <(echo "${base_metrics}") <(echo "${fresh_metrics}"))" && status=0 || status=1
+
+  if [[ ${status} -ne 0 ]]; then
+    echo "${warnings}"
+    total_warnings=$((total_warnings + $(echo "${warnings}" | wc -l)))
+  else
+    echo "bench-guard: ${name}: within ${TOL} of committed baseline"
+  fi
+done
+
+if [[ ${total_warnings} -gt 0 ]]; then
+  echo "bench-guard: ${total_warnings} metric(s) regressed past tolerance (warn-only, not failing)"
+fi
+exit 0

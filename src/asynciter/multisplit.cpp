@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 
+#include "linalg/fused.hpp"
 #include "linalg/vector_ops.hpp"
 #include "support/assert.hpp"
 
@@ -81,7 +82,7 @@ MultisplitResult run_multisplitting(const CsrMatrix& a, const Vector& b,
       a.off_block_multiply_add(blk.ext_lo, blk.ext_hi, blk.ext_lo, blk.ext_hi,
                                x_read, coupling);
       rhs = st.b_ext;
-      for (std::size_t i = 0; i < rhs.size(); ++i) rhs[i] -= coupling[i];
+      linalg::axpy(-1.0, coupling, rhs);  // rhs -= coupling, exact
 
       // Warm-start the extended iterate from the read vector and solve.
       std::copy(x_read.begin() + static_cast<std::ptrdiff_t>(blk.ext_lo),
@@ -107,13 +108,9 @@ MultisplitResult run_multisplitting(const CsrMatrix& a, const Vector& b,
       std::copy(slice.begin(), slice.end(),
                 x_latest.begin() + static_cast<std::ptrdiff_t>(blocks[q].owned_lo));
     }
-    a.multiply(x_latest, ax);
-    double r2 = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double d = b[i] - ax[i];
-      r2 += d * d;
-    }
-    result.final_residual = std::sqrt(r2) / residual_scale;
+    // Fused single pass: ax reused as the residual scratch.
+    result.final_residual =
+        linalg::spmv_residual_norm2(a, x_latest, b, ax) / residual_scale;
     if (result.final_residual <= options.tolerance) {
       result.converged = true;
       break;

@@ -53,4 +53,25 @@ struct CommConfig {
   std::size_t max_batch_bytes = 16 * 1024;  ///< body bytes per Batch
 };
 
+/// Iteration hot-path knobs (DESIGN.md §9). Defaults preserve the previous
+/// behaviour except for the send-buffer pool, which is transparent to
+/// results (it only recycles heap storage).
+struct PerfConfig {
+  /// Publish boundary/halo data from INSIDE iterate() — pre-relaxed boundary
+  /// lines (Poisson) or the post-solve export values (generic) leave while
+  /// the rest of the iteration still runs, overlapping compute with
+  /// communication. Off by default: it changes WHEN (and, for Poisson, WHAT
+  /// preview) neighbours see, so trajectories differ; converged solutions
+  /// agree at solver precision (bench_hotpath checks this parity).
+  bool early_send = false;
+  /// Kernel chunk size override: elements per BLAS-1 chunk (rows-per-chunk
+  /// for SpMV is grain / 4, clamped >= 1). 0 keeps the JACEPP_GRAIN /
+  /// built-in default (linalg::kVectorOpGrain). Applied process-wide at
+  /// deployment build time via linalg::set_kernel_grain().
+  std::size_t grain = 0;
+  /// Recycle message-body buffers through serial::BufferPool instead of
+  /// freeing them on last-ref release. Bit-transparent to results.
+  bool pool_buffers = true;
+};
+
 }  // namespace jacepp::core

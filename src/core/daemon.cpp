@@ -8,8 +8,11 @@
 
 namespace jacepp::core {
 
-Daemon::Daemon(std::vector<net::Stub> bootstrap_addresses, TimingConfig timing)
-    : timing_(timing), bootstrap_addresses_(std::move(bootstrap_addresses)) {
+Daemon::Daemon(std::vector<net::Stub> bootstrap_addresses, TimingConfig timing,
+               PerfConfig perf)
+    : timing_(timing),
+      perf_(perf),
+      bootstrap_addresses_(std::move(bootstrap_addresses)) {
   JACEPP_CHECK(!bootstrap_addresses_.empty(),
                "Daemon needs at least one super-peer bootstrap address");
   backup_store_.set_byte_budget(timing_.backup_byte_budget);
@@ -260,6 +263,30 @@ void Daemon::handle_assignment(const msg::TaskAssignment& m) {
   task_ = TaskProgramRegistry::instance().create(app_.program);
   JACEPP_CHECK(task_ != nullptr, "unknown task program in assignment");
   task_->init(app_, task_id_);
+
+  // Compute–comm overlap (`perf.early_send`): data the task publishes from
+  // INSIDE iterate() goes out immediately — in the simulator the send departs
+  // at compute START (work() runs synchronously when the compute event
+  // fires, before the virtual duration is charged), and in the threaded
+  // runtime it leaves the worker thread while the rest of the iteration still
+  // runs. Carries the iteration number finish_iteration() will stamp.
+  if (perf_.early_send) {
+    task_->set_early_publish([this](std::vector<OutgoingData> outs) {
+      if (halted_ || state_ != State::Computing) return;
+      for (auto& out : outs) {
+        const net::Stub to = reg_.daemon_of(out.to_task);
+        if (!to.valid()) continue;
+        msg::TaskData data;
+        data.app_id = app_.app_id;
+        data.from_task = task_id_;
+        data.to_task = out.to_task;
+        data.tag = out.tag;
+        data.iteration = iteration_ + 1;
+        data.payload = std::move(out.payload);
+        rmi::invoke(*env_, to, data);
+      }
+    });
+  }
 
   // While computing, heartbeats go to the Spawner instead of a Super-Peer.
   const std::uint64_t epoch = epoch_;

@@ -44,7 +44,8 @@ class Daemon : public net::Actor {
 
   /// `bootstrap_addresses` is the paper's stored list of super-peer IP
   /// addresses: address stubs (incarnation 0) tried in random order.
-  Daemon(std::vector<net::Stub> bootstrap_addresses, TimingConfig timing = {});
+  Daemon(std::vector<net::Stub> bootstrap_addresses, TimingConfig timing = {},
+         PerfConfig perf = {});
 
   void on_start(net::Env& env) override;
   void on_message(const net::Message& message, net::Env& env) override;
@@ -105,6 +106,7 @@ class Daemon : public net::Actor {
   void bump_epoch() { ++epoch_; }
 
   TimingConfig timing_;
+  PerfConfig perf_;
   std::vector<net::Stub> bootstrap_addresses_;
   rmi::Dispatcher dispatcher_;
   net::Env* env_ = nullptr;

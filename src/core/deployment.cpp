@@ -5,6 +5,8 @@
 #include "core/daemon.hpp"
 #include "core/messages.hpp"
 #include "core/super_peer.hpp"
+#include "linalg/vector_ops.hpp"
+#include "serial/buffer_pool.hpp"
 #include "support/assert.hpp"
 #include "support/logging.hpp"
 
@@ -35,6 +37,11 @@ void SimDeployment::build() {
   JACEPP_CHECK(!built_, "SimDeployment::build called twice");
   built_ = true;
 
+  // Iteration hot-path knobs: process-wide kernel grain and send-buffer pool
+  // (see core/config.hpp); early_send travels with each Daemon below.
+  linalg::set_kernel_grain(config_.perf.grain);
+  serial::BufferPool::instance().set_enabled(config_.perf.pool_buffers);
+
   // --- Super-peer overlay (§5.1) ---
   std::vector<SuperPeer*> super_peers;
   for (std::size_t i = 0; i < config_.super_peer_count; ++i) {
@@ -57,7 +64,8 @@ void SimDeployment::build() {
   Rng fleet_rng = world_->rng().split(0xf1ee7);
   const auto specs = config_.fleet.draw(config_.daemon_count, fleet_rng);
   for (std::size_t i = 0; i < config_.daemon_count; ++i) {
-    auto daemon = std::make_unique<Daemon>(super_peer_addresses_, config_.timing);
+    auto daemon = std::make_unique<Daemon>(super_peer_addresses_, config_.timing,
+                                           config_.perf);
     const net::Stub stub =
         world_->add_node(std::move(daemon), specs[i], net::EntityKind::Daemon);
     daemon_nodes_.push_back(stub.node);
@@ -110,7 +118,8 @@ void SimDeployment::inject_disconnect() {
     world_->schedule_global(config_.reconnect_delay, [this, victim] {
       if (world_->is_up(victim)) return;  // already revived (should not happen)
       world_->revive(victim, std::make_unique<Daemon>(super_peer_addresses_,
-                                                      config_.timing));
+                                                      config_.timing,
+                                                      config_.perf));
       ++report_.reconnections_executed;
     });
   }

@@ -26,6 +26,7 @@ struct SimDeploymentConfig {
   AppDescriptor app;                  ///< what the spawner launches
   TimingConfig timing;
   CommConfig comm;                    ///< staleness-aware comm path knobs
+  PerfConfig perf;                    ///< iteration hot-path knobs (§9)
   sim::SimConfig sim;
   sim::FleetModel fleet;
 

@@ -5,6 +5,8 @@
 #include "core/daemon.hpp"
 #include "core/messages.hpp"
 #include "core/super_peer.hpp"
+#include "linalg/vector_ops.hpp"
+#include "serial/buffer_pool.hpp"
 #include "support/assert.hpp"
 
 namespace jacepp::core {
@@ -35,6 +37,10 @@ RtDeployment::~RtDeployment() {
 }
 
 void RtDeployment::start() {
+  // Iteration hot-path knobs (mirrors SimDeployment::build).
+  linalg::set_kernel_grain(config_.perf.grain);
+  serial::BufferPool::instance().set_enabled(config_.perf.pool_buffers);
+
   // Super-peers first: their addresses seed every bootstrap list.
   std::vector<net::Stub> full_stubs;
   for (std::size_t i = 0; i < config_.super_peer_count; ++i) {
@@ -51,7 +57,8 @@ void RtDeployment::start() {
   }
 
   for (std::size_t i = 0; i < config_.daemon_count; ++i) {
-    auto daemon = std::make_unique<Daemon>(super_peer_addresses_, config_.timing);
+    auto daemon = std::make_unique<Daemon>(super_peer_addresses_, config_.timing,
+                                           config_.perf);
     const net::Stub stub =
         runtime_->add_node(std::move(daemon), net::EntityKind::Daemon);
     daemon_nodes_.push_back(stub.node);

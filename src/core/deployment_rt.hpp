@@ -28,6 +28,7 @@ struct RtDeploymentConfig {
   AppDescriptor app;
   TimingConfig timing = fast_rt_timing();
   CommConfig comm;  ///< staleness-aware comm path knobs (flush_window > 0 enables)
+  PerfConfig perf;  ///< iteration hot-path knobs (§9)
   std::uint64_t seed = 42;
 };
 

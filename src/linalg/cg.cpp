@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "linalg/fused.hpp"
 #include "support/assert.hpp"
 
 namespace jacepp::linalg {
@@ -26,9 +27,16 @@ CgResult conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
   }
 
   Vector r(n), z(n), p(n), ap(n);
-  a.multiply(x, ap);
-  result.flops += nnz_work;
-  residual(b, ap, r);
+  double r_norm;
+  if (options.fused) {
+    r_norm = spmv_residual_norm2(a, x, b, r);
+    result.flops += nnz_work;
+  } else {
+    a.multiply(x, ap);
+    result.flops += nnz_work;
+    residual(b, ap, r);
+    r_norm = norm2(r);
+  }
 
   auto apply_precond = [&](const Vector& rin, Vector& zout) {
     if (options.jacobi_preconditioner) {
@@ -42,7 +50,6 @@ CgResult conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
   const double b_norm = norm2(b);
   const double threshold = options.tolerance * (b_norm > 0.0 ? b_norm : 1.0);
 
-  double r_norm = norm2(r);
   if (r_norm <= threshold) {
     result.converged = true;
     result.residual_norm = r_norm;
@@ -55,8 +62,13 @@ CgResult conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
   result.flops += 2.0 * vec_work;
 
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
-    a.multiply(p, ap);
-    const double p_ap = dot(p, ap);
+    double p_ap;
+    if (options.fused) {
+      p_ap = spmv_dot(a, p, ap);
+    } else {
+      a.multiply(p, ap);
+      p_ap = dot(p, ap);
+    }
     result.flops += nnz_work + 2.0 * vec_work;
     if (p_ap <= 0.0) {
       // Non-SPD system or total breakdown; report divergence rather than abort
@@ -65,11 +77,15 @@ CgResult conjugate_gradient(const CsrMatrix& a, const Vector& b, Vector& x,
     }
     const double alpha = rz / p_ap;
     axpy(alpha, p, x);
-    axpy(-alpha, ap, r);
+    if (options.fused) {
+      r_norm = axpy_norm2(-alpha, ap, r);
+    } else {
+      axpy(-alpha, ap, r);
+    }
     result.flops += 4.0 * vec_work;
     ++result.iterations;
 
-    r_norm = norm2(r);
+    if (!options.fused) r_norm = norm2(r);
     result.flops += 2.0 * vec_work;
     if (r_norm <= threshold) {
       result.converged = true;

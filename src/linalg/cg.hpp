@@ -14,6 +14,12 @@ struct CgOptions {
   double tolerance = 1e-10;      ///< stop when ||r|| <= tolerance * ||b||
   std::size_t max_iterations = 1000;
   bool jacobi_preconditioner = false;
+  /// Use the single-pass fused kernels (linalg/fused.hpp) for the SpMV+dot,
+  /// residual-update+norm and initial-residual steps. Bit-identical to the
+  /// unfused path with a pool of size 1; with pool size >= 2 the fused
+  /// reductions chunk by rows instead of elements, so results may differ by
+  /// FP reassociation only. flops accounting is identical either way.
+  bool fused = true;
 };
 
 struct CgResult {

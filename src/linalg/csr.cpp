@@ -43,7 +43,7 @@ void CsrMatrix::multiply_add(const Vector& x, Vector& y) const {
   const double* xs = x.data();
   double* ys = y.data();
   compute_pool().parallel_for(
-      0, rows_, kSpmvRowGrain, [=](std::size_t lo, std::size_t hi) {
+      0, rows_, spmv_row_grain(), [=](std::size_t lo, std::size_t hi) {
         for (std::size_t r = lo; r < hi; ++r) {
           double acc = 0.0;
           for (std::uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
@@ -89,7 +89,7 @@ void CsrMatrix::off_block_multiply_add(std::size_t row_lo, std::size_t row_hi,
   const double* xs = x_global.data();
   double* ys = y_local.data();
   compute_pool().parallel_for(
-      row_lo, row_hi, kSpmvRowGrain, [=](std::size_t lo, std::size_t hi) {
+      row_lo, row_hi, spmv_row_grain(), [=](std::size_t lo, std::size_t hi) {
         for (std::size_t r = lo; r < hi; ++r) {
           double acc = 0.0;
           for (std::uint32_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {

@@ -10,10 +10,12 @@
 
 namespace jacepp::linalg {
 
-/// Rows per parallel SpMV chunk (see support/thread_pool.hpp for the
+/// Default rows per parallel SpMV chunk (see support/thread_pool.hpp for the
 /// determinism contract); matrices shorter than this always run serially.
 /// Sized so a chunk is several microseconds of work on a ~5 nnz/row stencil —
-/// below that, pool dispatch dominates the row loop.
+/// below that, pool dispatch dominates the row loop. The live value is
+/// spmv_row_grain() (vector_ops.hpp), which tracks the perf.grain /
+/// JACEPP_GRAIN override at a fixed 4:1 element:row ratio.
 inline constexpr std::size_t kSpmvRowGrain = 1024;
 
 /// Immutable CSR sparse matrix (row-major). Build via CsrBuilder.

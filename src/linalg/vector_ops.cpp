@@ -1,18 +1,57 @@
 #include "linalg/vector_ops.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 
 #include "support/assert.hpp"
 #include "support/thread_pool.hpp"
 
 namespace jacepp::linalg {
 
+namespace {
+
+/// Kernel grain resolved from the environment once (like JACEPP_THREADS):
+/// JACEPP_GRAIN, clamped to [1, 1 << 24]; 0 / unset / garbage falls back to
+/// the built-in default.
+std::size_t env_kernel_grain() {
+  static const std::size_t parsed = [] {
+    const char* env = std::getenv("JACEPP_GRAIN");
+    if (env == nullptr || *env == '\0') return std::size_t{0};
+    char* parse_end = nullptr;
+    const unsigned long value = std::strtoul(env, &parse_end, 10);
+    if (parse_end == env || value == 0) return std::size_t{0};
+    return std::min<std::size_t>(value, std::size_t{1} << 24);
+  }();
+  return parsed;
+}
+
+std::atomic<std::size_t> g_grain_override{0};
+
+}  // namespace
+
+std::size_t vector_op_grain() {
+  const std::size_t override_grain = g_grain_override.load(std::memory_order_acquire);
+  if (override_grain != 0) return override_grain;
+  const std::size_t env = env_kernel_grain();
+  return env != 0 ? env : kVectorOpGrain;
+}
+
+std::size_t spmv_row_grain() {
+  return std::max<std::size_t>(vector_op_grain() / 4, 1);
+}
+
+void set_kernel_grain(std::size_t grain) {
+  g_grain_override.store(std::min<std::size_t>(grain, std::size_t{1} << 24),
+                         std::memory_order_release);
+}
+
 void axpy(double alpha, const Vector& x, Vector& y) {
   JACEPP_ASSERT(x.size() == y.size());
   const double* xs = x.data();
   double* ys = y.data();
-  compute_pool().parallel_for(0, x.size(), kVectorOpGrain,
+  compute_pool().parallel_for(0, x.size(), vector_op_grain(),
                               [=](std::size_t lo, std::size_t hi) {
                                 for (std::size_t i = lo; i < hi; ++i) {
                                   ys[i] += alpha * xs[i];
@@ -24,7 +63,7 @@ void axpby(double alpha, const Vector& x, double beta, Vector& y) {
   JACEPP_ASSERT(x.size() == y.size());
   const double* xs = x.data();
   double* ys = y.data();
-  compute_pool().parallel_for(0, x.size(), kVectorOpGrain,
+  compute_pool().parallel_for(0, x.size(), vector_op_grain(),
                               [=](std::size_t lo, std::size_t hi) {
                                 for (std::size_t i = lo; i < hi; ++i) {
                                   ys[i] = alpha * xs[i] + beta * ys[i];
@@ -37,7 +76,7 @@ double dot(const Vector& x, const Vector& y) {
   const double* xs = x.data();
   const double* ys = y.data();
   return compute_pool().parallel_reduce(
-      0, x.size(), kVectorOpGrain, 0.0,
+      0, x.size(), vector_op_grain(), 0.0,
       [=](std::size_t lo, std::size_t hi) {
         double acc = 0.0;
         for (std::size_t i = lo; i < hi; ++i) acc += xs[i] * ys[i];
@@ -51,7 +90,7 @@ double norm2(const Vector& x) { return std::sqrt(dot(x, x)); }
 double norm_inf(const Vector& x) {
   const double* xs = x.data();
   return compute_pool().parallel_reduce(
-      0, x.size(), kVectorOpGrain, 0.0,
+      0, x.size(), vector_op_grain(), 0.0,
       [=](std::size_t lo, std::size_t hi) {
         double m = 0.0;
         for (std::size_t i = lo; i < hi; ++i) m = std::max(m, std::fabs(xs[i]));
@@ -65,7 +104,7 @@ double distance2(const Vector& x, const Vector& y) {
   const double* xs = x.data();
   const double* ys = y.data();
   const double acc = compute_pool().parallel_reduce(
-      0, x.size(), kVectorOpGrain, 0.0,
+      0, x.size(), vector_op_grain(), 0.0,
       [=](std::size_t lo, std::size_t hi) {
         double partial = 0.0;
         for (std::size_t i = lo; i < hi; ++i) {
@@ -83,7 +122,7 @@ double distance_inf(const Vector& x, const Vector& y) {
   const double* xs = x.data();
   const double* ys = y.data();
   return compute_pool().parallel_reduce(
-      0, x.size(), kVectorOpGrain, 0.0,
+      0, x.size(), vector_op_grain(), 0.0,
       [=](std::size_t lo, std::size_t hi) {
         double m = 0.0;
         for (std::size_t i = lo; i < hi; ++i) {
@@ -100,7 +139,7 @@ void hadamard(const Vector& x, const Vector& y, Vector& out) {
   const double* xs = x.data();
   const double* ys = y.data();
   double* os = out.data();
-  compute_pool().parallel_for(0, x.size(), kVectorOpGrain,
+  compute_pool().parallel_for(0, x.size(), vector_op_grain(),
                               [=](std::size_t lo, std::size_t hi) {
                                 for (std::size_t i = lo; i < hi; ++i) {
                                   os[i] = xs[i] * ys[i];
@@ -110,7 +149,7 @@ void hadamard(const Vector& x, const Vector& y, Vector& out) {
 
 void scale(Vector& x, double alpha) {
   double* xs = x.data();
-  compute_pool().parallel_for(0, x.size(), kVectorOpGrain,
+  compute_pool().parallel_for(0, x.size(), vector_op_grain(),
                               [=](std::size_t lo, std::size_t hi) {
                                 for (std::size_t i = lo; i < hi; ++i) xs[i] *= alpha;
                               });
@@ -118,7 +157,7 @@ void scale(Vector& x, double alpha) {
 
 void fill(Vector& x, double value) {
   double* xs = x.data();
-  compute_pool().parallel_for(0, x.size(), kVectorOpGrain,
+  compute_pool().parallel_for(0, x.size(), vector_op_grain(),
                               [=](std::size_t lo, std::size_t hi) {
                                 for (std::size_t i = lo; i < hi; ++i) xs[i] = value;
                               });
@@ -130,7 +169,7 @@ void residual(const Vector& b, const Vector& ax, Vector& r) {
   const double* bs = b.data();
   const double* as = ax.data();
   double* rs = r.data();
-  compute_pool().parallel_for(0, b.size(), kVectorOpGrain,
+  compute_pool().parallel_for(0, b.size(), vector_op_grain(),
                               [=](std::size_t lo, std::size_t hi) {
                                 for (std::size_t i = lo; i < hi; ++i) {
                                   rs[i] = bs[i] - as[i];

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "net/stub.hpp"
+#include "serial/buffer_pool.hpp"
 #include "serial/serial.hpp"
 
 namespace jacepp::net {
@@ -42,6 +43,22 @@ class Payload {
     return data_ != nullptr && data_ == other.data_;
   }
 
+  /// Like the Bytes constructor, but the buffer's heap storage returns to the
+  /// global serial::BufferPool when the LAST reference drops. Copies still
+  /// share the one buffer (shares_buffer_with holds as usual); recycling
+  /// happens strictly after the refcount reaches zero, so no live reader can
+  /// ever observe a recycled buffer.
+  [[nodiscard]] static Payload pooled(serial::Bytes bytes) {
+    Payload p;
+    p.data_ = std::shared_ptr<const serial::Bytes>(
+        new serial::Bytes(std::move(bytes)), [](const serial::Bytes* b) {
+          auto* owned = const_cast<serial::Bytes*>(b);
+          serial::BufferPool::instance().release(std::move(*owned));
+          delete owned;
+        });
+    return p;
+  }
+
  private:
   std::shared_ptr<const serial::Bytes> data_;
 };
@@ -58,11 +75,16 @@ struct Message {
 
 /// Build a message from a typed payload: T must expose
 /// `static constexpr MessageType kType` and `serialize(Writer&)`.
+/// The body is encoded into a pool-recycled buffer and returns to the pool
+/// when the message's last copy dies — the per-message steady-state send path
+/// performs no body allocation (beyond the shared_ptr control block).
 template <typename T>
 Message make_message(const T& payload) {
   Message m;
   m.type = T::kType;
-  m.body = serial::encode(payload);
+  serial::Writer writer(serial::BufferPool::instance().acquire());
+  payload.serialize(writer);
+  m.body = Payload::pooled(writer.take());
   return m;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/fused.hpp"
 #include "poisson/poisson.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
@@ -79,7 +80,11 @@ void PoissonTask::init(const core::AppDescriptor& app, core::TaskId task_id) {
   b_ext_.assign(full_rhs.begin() + static_cast<std::ptrdiff_t>(block_.ext_lo),
                 full_rhs.begin() + static_cast<std::ptrdiff_t>(block_.ext_hi));
 
+  inv_diag_ = a_local_.diagonal();
+  for (double& d : inv_diag_) d = 1.0 / d;  // 4/h² on every row, never zero
+
   x_ext_.assign(block_.ext_size(), 0.0);
+  early_x_.clear();
   owned_prev_.assign(block_.owned_size(), 0.0);
   lower_boundary_.assign(n, 0.0);
   upper_boundary_.assign(n, 0.0);
@@ -124,6 +129,16 @@ double PoissonTask::iterate() {
   linalg::Vector rhs;
   build_rhs(rhs);
 
+  // Early halo publish (perf.early_send): pre-relax the two outgoing boundary
+  // lines with one fused weighted-Jacobi sweep against the FRESH rhs and ship
+  // those preview lines now, so neighbours receive a better boundary estimate
+  // while the full inner solve below still runs. The final lines still go out
+  // through outgoing() after the solve (previews never mark anything as sent).
+  double preview_flops = 0.0;
+  if (early_publish_enabled() && task_count_ > 1) {
+    preview_flops = publish_boundary_preview(rhs);
+  }
+
   linalg::CgOptions options;
   options.tolerance = config_.inner_tolerance;
   options.max_iterations = config_.inner_max_iterations;
@@ -143,7 +158,7 @@ double PoissonTask::iterate() {
   const double* x_ext = x_ext_.data();
   double* prev = owned_prev_.data();
   const DiffNorm dn = compute_pool().parallel_reduce(
-      0, block_.owned_size(), linalg::kVectorOpGrain, DiffNorm{},
+      0, block_.owned_size(), linalg::vector_op_grain(), DiffNorm{},
       [=](std::size_t lo, std::size_t hi) {
         DiffNorm partial;
         for (std::size_t i = lo; i < hi; ++i) {
@@ -171,12 +186,52 @@ double PoissonTask::iterate() {
   lower_fresh_ = upper_fresh_ = false;
 
   const double flops =
-      (cg.flops + 6.0 * static_cast<double>(block_.ext_size())) * config_.work_scale;
+      (cg.flops + preview_flops + 6.0 * static_cast<double>(block_.ext_size())) *
+      config_.work_scale;
   // Starved iterations will charge the cost of a representative solve; use a
   // slowly-tracking maximum so early cheap warm-started solves do not
   // underprice them.
   last_solve_flops_ = std::max(flops, 0.5 * last_solve_flops_);
   total_flops_ += flops;
+  return flops;
+}
+
+double PoissonTask::publish_boundary_preview(const linalg::Vector& rhs) {
+  const std::size_t n = config_.n;
+  const std::size_t overlap_rows = config_.overlap_lines * n;
+  if (early_x_.size() != x_ext_.size()) early_x_.assign(x_ext_.size(), 0.0);
+
+  // ω = 2/3: the classic damped-Jacobi weight — the preview only needs to be
+  // closer to the post-solve line than the stale one, not converged.
+  constexpr double kOmega = 2.0 / 3.0;
+  const auto& row_ptr = a_local_.row_ptr();
+  double flops = 0.0;
+  std::vector<core::OutgoingData> out;
+
+  auto preview_line = [&](std::size_t global_start) {
+    const std::size_t lo = global_start - block_.ext_lo;
+    linalg::relax_sweep_fused(a_local_, inv_diag_, rhs, x_ext_, early_x_,
+                              kOmega, lo, lo + n);
+    flops += 2.0 * static_cast<double>(row_ptr[lo + n] - row_ptr[lo]) +
+             4.0 * static_cast<double>(n);
+    serial::Writer writer;
+    linalg::Vector line(early_x_.begin() + static_cast<std::ptrdiff_t>(lo),
+                        early_x_.begin() + static_cast<std::ptrdiff_t>(lo + n));
+    writer.f64_vector(line);
+    return writer.take();
+  };
+
+  // Same lines and stream tags as outgoing(): the preview and the final line
+  // share one latest-wins stream per (pair, direction).
+  if (task_id_ > 0) {
+    const std::size_t start = block_.owned_lo + overlap_rows;
+    out.push_back(core::OutgoingData{task_id_ - 1, preview_line(start), 1});
+  }
+  if (task_id_ + 1 < task_count_) {
+    const std::size_t start = block_.owned_hi - overlap_rows - n;
+    out.push_back(core::OutgoingData{task_id_ + 1, preview_line(start), 0});
+  }
+  publish_early(std::move(out));
   return flops;
 }
 

@@ -45,6 +45,10 @@ class Writer {
  public:
   Writer() = default;
 
+  /// Adopt a recycled buffer (serial/buffer_pool.hpp): content is discarded,
+  /// capacity is kept, so encoding into it usually allocates nothing.
+  explicit Writer(Bytes seed) : buffer_(std::move(seed)) { buffer_.clear(); }
+
   void u8(std::uint8_t v) { buffer_.push_back(v); }
 
   void u16(std::uint16_t v) {

@@ -1,0 +1,106 @@
+// Early halo publish (perf.early_send): boundary previews overlap compute
+// with communication but must not change WHAT the solver converges to — the
+// off-vs-on answers agree at solver precision, the on-run is deterministic
+// under same-seed replay (bit-for-bit), and the previews show up as extra
+// TaskData traffic.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "core/deployment.hpp"
+#include "core/messages.hpp"
+#include "poisson/block_task.hpp"
+#include "poisson/poisson.hpp"
+
+namespace jacepp::core {
+namespace {
+
+constexpr std::uint32_t kN = 24;
+constexpr std::uint32_t kTasks = 4;
+
+SimDeploymentConfig parity_config(bool early_send) {
+  poisson::force_registration();
+  poisson::PoissonConfig pc;
+  pc.n = kN;
+  pc.inner_tolerance = 1e-10;
+  pc.work_scale = 50.0;  // iterations long enough that previews precede them
+
+  SimDeploymentConfig config;
+  config.super_peer_count = 1;
+  config.daemon_count = 6;
+  config.max_sim_time = 3000.0;
+  config.sim.seed = 4242;
+  config.perf.early_send = early_send;
+
+  config.app.app_id = 1;
+  config.app.program = poisson::PoissonTask::kProgramName;
+  config.app.config = poisson::encode_config(pc);
+  config.app.task_count = kTasks;
+  config.app.checkpoint_every = 5;
+  config.app.backup_peer_count = 2;
+  // Tight update-distance detection so both arms iterate to solver precision
+  // and the parity comparison is meaningful (see bench_comm for the same
+  // reasoning).
+  config.app.convergence_threshold = 1e-9;
+  config.app.stable_iterations_required = 5;
+  return config;
+}
+
+struct ParityRun {
+  SimExperimentReport report;
+  linalg::Vector solution;
+  double residual = -1.0;
+  std::uint64_t sent_data = 0;
+};
+
+ParityRun run_one(bool early_send) {
+  SimDeployment deployment(parity_config(early_send));
+  ParityRun r;
+  r.report = deployment.run();
+  r.solution = poisson::assemble_solution(kN, kTasks,
+                                          r.report.spawner.final_payloads);
+  poisson::PoissonConfig pc;
+  pc.n = kN;
+  r.residual = poisson::poisson_relative_residual(pc, r.solution);
+  const auto it = r.report.net.sent_by_type.find(msg::TaskData::kType);
+  r.sent_data = it == r.report.net.sent_by_type.end() ? 0 : it->second;
+  return r;
+}
+
+TEST(EarlySend, OffVsOnAgreeAtSolverPrecision) {
+  const ParityRun off = run_one(false);
+  const ParityRun on = run_one(true);
+
+  ASSERT_TRUE(off.report.spawner.completed);
+  ASSERT_TRUE(on.report.spawner.completed);
+  EXPECT_LT(off.residual, 1e-4);
+  EXPECT_LT(on.residual, 1e-4);
+
+  // Different async trajectories, same solver-tolerance ball.
+  ASSERT_EQ(on.solution.size(), off.solution.size());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < off.solution.size(); ++i) {
+    worst = std::max(worst, std::abs(on.solution[i] - off.solution[i]));
+  }
+  EXPECT_LT(worst, 1e-4);
+
+  // The previews are real traffic: the on-run sends strictly more TaskData.
+  EXPECT_GT(on.sent_data, off.sent_data);
+}
+
+TEST(EarlySend, SameSeedReplayIsBitwiseIdentical) {
+  const ParityRun first = run_one(true);
+  const ParityRun replay = run_one(true);
+  ASSERT_TRUE(first.report.spawner.completed);
+  ASSERT_TRUE(replay.report.spawner.completed);
+  ASSERT_EQ(first.solution.size(), replay.solution.size());
+  ASSERT_FALSE(first.solution.empty());
+  EXPECT_EQ(0, std::memcmp(first.solution.data(), replay.solution.data(),
+                           first.solution.size() * sizeof(double)));
+  EXPECT_EQ(first.report.spawner.execution_time(),
+            replay.report.spawner.execution_time());
+}
+
+}  // namespace
+}  // namespace jacepp::core
