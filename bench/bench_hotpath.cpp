@@ -2,6 +2,13 @@
 //   fused      : single-pass SpMV+reduction kernels vs the unfused sequences
 //                (micro timings + CG end-to-end), with the pool-size-1
 //                bit-identity gate (memcmp over doubles);
+//   simd       : the runtime-dispatched vector kernels (linalg/simd.hpp) off
+//                vs on — SpMV, the fused reductions, BLAS-1 dot, the SELL
+//                padded layout — with hard gates: element-wise off-vs-on
+//                bit-identity, on-path bitwise replay, and CG off-vs-on
+//                parity at solver precision. `--simd-level` prints the
+//                CPUID-detected dispatch level and exits (run_bench.sh
+//                stamps it into the result meta);
 //   early_send : boundary-preview publish off vs on in the deployment sim
 //                (execution time, iterations, preview traffic) with the same
 //                parity discipline as bench_comm — off-vs-on agreement at
@@ -21,7 +28,9 @@
 #include "bench_common.hpp"
 #include "core/messages.hpp"
 #include "linalg/cg.hpp"
+#include "linalg/csr_sell.hpp"
 #include "linalg/fused.hpp"
+#include "linalg/simd.hpp"
 #include "net/message.hpp"
 #include "serial/buffer_pool.hpp"
 #include "support/flags.hpp"
@@ -209,6 +218,138 @@ FusedReport run_fused(std::size_t side, std::size_t repeats) {
   return rep;
 }
 
+// --- Layer 1b: SIMD dispatch -------------------------------------------------
+
+struct SimdKernelRow {
+  double off_ns = 0.0;
+  double on_ns = 0.0;
+};
+
+void print_simd_row(const char* key, const SimdKernelRow& r, bool last) {
+  std::printf("      \"%s\": {\"off_ns\": %.0f, \"on_ns\": %.0f, "
+              "\"speedup\": %.3f}%s\n",
+              key, r.off_ns, r.on_ns,
+              r.on_ns > 0.0 ? r.off_ns / r.on_ns : 0.0, last ? "" : ",");
+}
+
+struct SimdReport {
+  std::size_t side = 0;
+  std::size_t repeats = 0;
+  SimdKernelRow spmv;
+  SimdKernelRow spmv_residual;
+  SimdKernelRow spmv_dot;
+  SimdKernelRow axpy_norm2;
+  SimdKernelRow dot;
+  SimdKernelRow sell_spmv;  ///< off = CSR simd-on, on = SELL simd-on
+  double sell_fill_ratio = 0.0;
+  double cg_off_ms = 0.0;
+  double cg_on_ms = 0.0;
+  double cg_parity_diff = -1.0;
+  bool elementwise_bit_identical = false;
+  bool replay_bitwise = false;
+  double spmv_off_on_diff = -1.0;
+  bool ok = false;
+};
+
+SimdReport run_simd(std::size_t side, std::size_t repeats) {
+  // Pool size 1: isolates the vector-unit effect from thread scaling, and is
+  // where the element-wise bit-identity gate is exact.
+  ThreadPool pool(1);
+  ScopedComputePool scoped(pool);
+
+  SimdReport rep;
+  rep.side = side;
+  rep.repeats = repeats;
+  const auto a = poisson::assemble_laplacian(side);
+  const std::size_t n = a.rows();
+  const linalg::Vector x = random_vector(n, 2001);
+  const linalg::Vector b = random_vector(n, 2002);
+
+  const auto timed_both = [&](SimdKernelRow& row, auto&& fn) {
+    linalg::simd::set_enabled(false);
+    row.off_ns = time_ns(repeats, fn);
+    linalg::simd::set_enabled(true);
+    row.on_ns = time_ns(repeats, fn);
+    linalg::simd::set_enabled(false);
+  };
+
+  linalg::Vector y, r;
+  double acc = 0.0;
+  timed_both(rep.spmv, [&] { a.multiply(x, y); });
+  timed_both(rep.spmv_residual,
+             [&] { acc = linalg::spmv_residual_norm2(a, x, b, r); });
+  timed_both(rep.spmv_dot, [&] { acc = linalg::spmv_dot(a, x, y); });
+  {
+    linalg::Vector ym = b;
+    timed_both(rep.axpy_norm2,
+               [&] { acc = linalg::axpy_norm2(1e-9, x, ym); });
+  }
+  timed_both(rep.dot, [&] { acc = linalg::dot(x, b); });
+  (void)acc;
+
+  // SELL vs CSR, both with the vector unit on: the layout's own contribution.
+  {
+    const linalg::SellMatrix sell(a);
+    rep.sell_fill_ratio = sell.fill_ratio();
+    linalg::simd::set_enabled(true);
+    rep.sell_spmv.off_ns = time_ns(repeats, [&] { a.multiply(x, y); });
+    rep.sell_spmv.on_ns = time_ns(repeats, [&] { sell.multiply(x, y); });
+    linalg::simd::set_enabled(false);
+  }
+
+  // Gate 1: element-wise kernels must be bit-identical off vs on.
+  {
+    linalg::Vector y_off = b;
+    linalg::Vector y_on = b;
+    linalg::simd::set_enabled(false);
+    linalg::axpy(0.37, x, y_off);
+    linalg::simd::set_enabled(true);
+    linalg::axpy(0.37, x, y_on);
+    linalg::simd::set_enabled(false);
+    rep.elementwise_bit_identical = bitwise_equal(y_off, y_on);
+  }
+
+  // Gate 2: on-path bitwise replay + off-vs-on SpMV parity.
+  {
+    linalg::Vector y_off, y_on, y_replay;
+    linalg::simd::set_enabled(false);
+    a.multiply(x, y_off);
+    linalg::simd::set_enabled(true);
+    a.multiply(x, y_on);
+    a.multiply(x, y_replay);
+    linalg::simd::set_enabled(false);
+    rep.replay_bitwise = bitwise_equal(y_on, y_replay);
+    rep.spmv_off_on_diff = max_abs_diff(y_off, y_on);
+  }
+
+  // Gate 3: CG end-to-end, off vs on, parity at solver precision.
+  {
+    linalg::CgOptions opt;
+    opt.tolerance = 1e-8;
+    opt.max_iterations = 10 * n;
+    linalg::Vector x_off, x_on;
+    linalg::simd::set_enabled(false);
+    rep.cg_off_ms = time_ns(3, [&] {
+                      x_off.assign(n, 0.0);
+                      (void)linalg::conjugate_gradient(a, b, x_off, opt);
+                    }) /
+                    1e6;
+    linalg::simd::set_enabled(true);
+    rep.cg_on_ms = time_ns(3, [&] {
+                     x_on.assign(n, 0.0);
+                     (void)linalg::conjugate_gradient(a, b, x_on, opt);
+                   }) /
+                   1e6;
+    linalg::simd::set_enabled(false);
+    rep.cg_parity_diff = max_abs_diff(x_off, x_on);
+  }
+
+  rep.ok = rep.elementwise_bit_identical && rep.replay_bitwise &&
+           rep.spmv_off_on_diff >= 0.0 && rep.spmv_off_on_diff < 1e-9 &&
+           rep.cg_parity_diff >= 0.0 && rep.cg_parity_diff < 1e-6;
+  return rep;
+}
+
 // --- Layer 2: early halo publish -------------------------------------------
 
 struct EarlyRun {
@@ -302,13 +443,26 @@ int main(int argc, char** argv) {
                 "publish and pooled send buffers, one layer at a time");
   auto smoke = flags.add_bool("smoke", false, "small fast run for CI");
   auto seed = flags.add_uint("seed", 42, "base seed");
+  auto simd_level = flags.add_bool(
+      "simd-level", false,
+      "print the CPUID-detected SIMD dispatch level and exit");
   flags.parse(argc, argv);
+
+  if (*simd_level) {
+    std::printf("%s\n",
+                linalg::simd::level_name(linalg::simd::detected_level()));
+    return 0;
+  }
 
   const std::size_t side = *smoke ? 64 : 160;
   const std::size_t repeats = *smoke ? 20 : 60;
 
   std::fprintf(stderr, "== fused kernels (side %zu, pool 1) ==\n", side);
   const FusedReport fused = run_fused(side, repeats);
+
+  std::fprintf(stderr, "== simd dispatch (detected %s) ==\n",
+               linalg::simd::level_name(linalg::simd::detected_level()));
+  const SimdReport simd = run_simd(side, repeats);
 
   ExperimentParams p;
   p.seed = *seed;
@@ -357,7 +511,8 @@ int main(int argc, char** argv) {
           : static_cast<double>(pool.deploy_stats.reuses) /
                 static_cast<double>(pool_acquires);
 
-  const bool pass = fused.ok && early_parity && pool.deploy_completed;
+  const bool pass =
+      fused.ok && simd.ok && early_parity && pool.deploy_completed;
 
   std::printf("{\n");
   std::printf("  \"bench\": \"bench_hotpath\",\n");
@@ -378,6 +533,38 @@ int main(int argc, char** argv) {
                                       : 0.0,
               fused.cg_iterations, fused.cg_bit_identical ? "true" : "false");
   std::printf("    \"ok\": %s\n", fused.ok ? "true" : "false");
+  std::printf("  },\n");
+  std::printf("  \"simd\": {\n");
+  std::printf("    \"level_detected\": \"%s\",\n",
+              linalg::simd::level_name(linalg::simd::detected_level()));
+  std::printf("    \"grid_side\": %zu,\n", simd.side);
+  std::printf("    \"repeats\": %zu,\n", simd.repeats);
+  std::printf("    \"kernels\": {\n");
+  print_simd_row("spmv", simd.spmv, false);
+  print_simd_row("spmv_residual_norm2", simd.spmv_residual, false);
+  print_simd_row("spmv_dot", simd.spmv_dot, false);
+  print_simd_row("axpy_norm2", simd.axpy_norm2, false);
+  print_simd_row("dot", simd.dot, true);
+  std::printf("    },\n");
+  std::printf("    \"sell\": {\"fill_ratio\": %.4f, \"csr_on_ns\": %.0f, "
+              "\"sell_on_ns\": %.0f, \"speedup\": %.3f},\n",
+              simd.sell_fill_ratio, simd.sell_spmv.off_ns,
+              simd.sell_spmv.on_ns,
+              simd.sell_spmv.on_ns > 0.0
+                  ? simd.sell_spmv.off_ns / simd.sell_spmv.on_ns
+                  : 0.0);
+  std::printf("    \"cg\": {\"off_ms\": %.3f, \"on_ms\": %.3f, "
+              "\"speedup\": %.3f, \"parity_max_abs_diff\": %.6e},\n",
+              simd.cg_off_ms, simd.cg_on_ms,
+              simd.cg_on_ms > 0.0 ? simd.cg_off_ms / simd.cg_on_ms : 0.0,
+              simd.cg_parity_diff);
+  std::printf("    \"elementwise_bit_identical\": %s,\n",
+              simd.elementwise_bit_identical ? "true" : "false");
+  std::printf("    \"replay_bitwise\": %s,\n",
+              simd.replay_bitwise ? "true" : "false");
+  std::printf("    \"spmv_off_vs_on_max_abs_diff\": %.6e,\n",
+              simd.spmv_off_on_diff);
+  std::printf("    \"ok\": %s\n", simd.ok ? "true" : "false");
   std::printf("  },\n");
   std::printf("  \"early_send\": {\n");
   std::printf("    \"params\": {\"n\": %zu, \"tasks\": %u, \"daemons\": %zu, "
@@ -419,6 +606,18 @@ int main(int argc, char** argv) {
                fused.dot.unfused_ns, fused.dot.fused_ns, fused.axpy.unfused_ns,
                fused.axpy.fused_ns, fused.cg_unfused_ms, fused.cg_fused_ms,
                fused.ok ? "yes" : "NO");
+  std::fprintf(stderr,
+               "simd       : %s; spmv %.0f->%.0f ns (%.2fx), residual "
+               "%.0f->%.0f ns, dot %.0f->%.0f ns, sell spmv %.0f->%.0f ns, "
+               "cg %.2f->%.2f ms, gates %s\n",
+               linalg::simd::level_name(linalg::simd::detected_level()),
+               simd.spmv.off_ns, simd.spmv.on_ns,
+               simd.spmv.on_ns > 0.0 ? simd.spmv.off_ns / simd.spmv.on_ns
+                                     : 0.0,
+               simd.spmv_residual.off_ns, simd.spmv_residual.on_ns,
+               simd.dot.off_ns, simd.dot.on_ns, simd.sell_spmv.off_ns,
+               simd.sell_spmv.on_ns, simd.cg_off_ms, simd.cg_on_ms,
+               simd.ok ? "yes" : "NO");
   std::fprintf(stderr,
                "early send : exec %.1f -> %.1f s, data msgs %" PRIu64
                " -> %" PRIu64 ", replay bitwise %s, off-vs-on |diff| %.3e\n",

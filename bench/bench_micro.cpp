@@ -4,7 +4,9 @@
 
 #include "linalg/cg.hpp"
 #include "linalg/csr.hpp"
+#include "linalg/csr_sell.hpp"
 #include "linalg/fused.hpp"
+#include "linalg/simd.hpp"
 #include "core/messages.hpp"
 #include "net/message.hpp"
 #include "poisson/block_task.hpp"
@@ -31,6 +33,75 @@ void BM_SpMV(benchmark::State& state) {
                           static_cast<std::int64_t>(a.nnz()));
 }
 BENCHMARK(BM_SpMV)->Arg(32)->Arg(64)->Arg(128);
+
+/// Flips `perf.simd` on for one benchmark body; restores the default (off) so
+/// row order never leaks dispatch state into the scalar rows above.
+struct ScopedSimdOn {
+  ScopedSimdOn() { linalg::simd::set_enabled(true); }
+  ~ScopedSimdOn() { linalg::simd::set_enabled(false); }
+};
+
+void BM_SpMVSimd(benchmark::State& state) {
+  ScopedSimdOn simd;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = poisson::assemble_laplacian(n);
+  linalg::Vector x(n * n, 1.0);
+  linalg::Vector y(n * n);
+  for (auto _ : state) {
+    a.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+  state.SetLabel(linalg::simd::level_name(linalg::simd::detected_level()));
+}
+BENCHMARK(BM_SpMVSimd)->Arg(32)->Arg(64)->Arg(128);
+
+/// SELL padded layout with the vector unit on — compare against BM_SpMVSimd
+/// (same matrix, CSR layout) for the layout's own contribution.
+void BM_SpMVSellSimd(benchmark::State& state) {
+  ScopedSimdOn simd;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const linalg::SellMatrix a(poisson::assemble_laplacian(n));
+  linalg::Vector x(n * n, 1.0);
+  linalg::Vector y(n * n);
+  for (auto _ : state) {
+    a.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+  state.SetLabel(linalg::simd::level_name(linalg::simd::detected_level()));
+}
+BENCHMARK(BM_SpMVSellSimd)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Dot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  linalg::Vector x(n, 0.5);
+  linalg::Vector y(n, 2.0);
+  for (auto _ : state) {
+    const double d = linalg::dot(x, y);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Dot)->Arg(4096)->Arg(65536);
+
+void BM_DotSimd(benchmark::State& state) {
+  ScopedSimdOn simd;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  linalg::Vector x(n, 0.5);
+  linalg::Vector y(n, 2.0);
+  for (auto _ : state) {
+    const double d = linalg::dot(x, y);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(linalg::simd::level_name(linalg::simd::detected_level()));
+}
+BENCHMARK(BM_DotSimd)->Arg(4096)->Arg(65536);
 
 // Unfused residual evaluation: r = b - Ax then ||r|| — three passes over the
 // vectors. Pairs with BM_SpmvResidualFused below (one pass).
@@ -67,6 +138,23 @@ void BM_SpmvResidualFused(benchmark::State& state) {
 }
 BENCHMARK(BM_SpmvResidualFused)->Arg(32)->Arg(64)->Arg(128);
 
+void BM_SpmvResidualFusedSimd(benchmark::State& state) {
+  ScopedSimdOn simd;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = poisson::assemble_laplacian(n);
+  linalg::Vector x(n * n, 1.0);
+  linalg::Vector b(n * n, 2.0);
+  linalg::Vector r(n * n);
+  for (auto _ : state) {
+    const double norm = linalg::spmv_residual_norm2(a, x, b, r);
+    benchmark::DoNotOptimize(norm);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+  state.SetLabel(linalg::simd::level_name(linalg::simd::detected_level()));
+}
+BENCHMARK(BM_SpmvResidualFusedSimd)->Arg(32)->Arg(64)->Arg(128);
+
 void BM_AxpyNorm2Unfused(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   linalg::Vector x(n, 1.0 / static_cast<double>(n));
@@ -93,6 +181,21 @@ void BM_AxpyNorm2Fused(benchmark::State& state) {
                           static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_AxpyNorm2Fused)->Arg(4096)->Arg(65536);
+
+void BM_AxpyNorm2FusedSimd(benchmark::State& state) {
+  ScopedSimdOn simd;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  linalg::Vector x(n, 1.0 / static_cast<double>(n));
+  linalg::Vector y(n, 1.0);
+  for (auto _ : state) {
+    const double norm = linalg::axpy_norm2(1e-9, x, y);
+    benchmark::DoNotOptimize(norm);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.SetLabel(linalg::simd::level_name(linalg::simd::detected_level()));
+}
+BENCHMARK(BM_AxpyNorm2FusedSimd)->Arg(4096)->Arg(65536);
 
 void BM_ConjugateGradient(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -178,6 +281,29 @@ void BM_EventQueue(benchmark::State& state) {
                           static_cast<std::int64_t>(batch));
 }
 BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(10000);
+
+// Cancel-heavy load: the periodic-timer reschedule pattern that triggers the
+// eager tombstone purge. Every other event is cancelled before draining, so
+// one round exercises push, cancel (with purges) and pop together.
+void BM_EventQueueCancel(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventId> ids;
+    ids.reserve(batch);
+    for (std::size_t i = 0; i < batch; ++i) {
+      ids.push_back(q.schedule(rng.next_double(), [] {}));
+    }
+    for (std::size_t i = 0; i < batch; i += 2) q.cancel(ids[i]);
+    double now = 0;
+    while (!q.empty()) q.pop(&now)();
+    benchmark::DoNotOptimize(now);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueueCancel)->Arg(1000)->Arg(10000);
 
 void BM_MessageEncodeDecode(benchmark::State& state) {
   core::AppRegister reg;

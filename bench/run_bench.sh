@@ -10,8 +10,9 @@
 # Also runs bench_comm (the staleness-aware comm path ablation, $COMM_OUT)
 # and bench_hotpath (the fused/early-send/pool iteration hot-path ablation,
 # $HOTPATH_OUT). Every BENCH_*.json is stamped with a `meta` object recording
-# the git SHA, the machine's hardware thread count and the JACEPP_THREADS
-# setting the run used, so recorded numbers stay attributable to a revision.
+# the git SHA, the machine's hardware thread count, the JACEPP_THREADS
+# setting, the CPU's vector ISA flags and the SIMD dispatch level the binary
+# selects, so recorded numbers stay attributable to a revision and a machine.
 # After writing, scripts/bench_guard.sh compares each file against the
 # committed baseline and prints warn-only regression notices.
 #
@@ -36,6 +37,20 @@ HOTPATH_ARGS="${HOTPATH_ARGS:-}"
 GIT_SHA="$(git -C "${REPO_ROOT}" rev-parse HEAD 2>/dev/null || echo unknown)"
 HW_THREADS="$(nproc 2>/dev/null || echo 0)"
 
+# ISA provenance: which vector extensions the machine advertises, and which
+# level the runtime dispatcher actually selects (bench_hotpath --simd-level
+# prints the CPUID-detected tier). SIMD rows are meaningless without these.
+cpu_isa() {
+  local flags isa=""
+  flags="$(grep -m1 '^flags' /proc/cpuinfo 2>/dev/null || true)"
+  for f in sse2 avx avx2 avx512f fma; do
+    if grep -qw "$f" <<< "${flags}"; then isa="${isa:+${isa},}${f}"; fi
+  done
+  echo "${isa:-unknown}"
+}
+CPU_ISA="$(cpu_isa)"
+SIMD_LEVEL="unknown"
+
 # stamp FILE JACEPP_THREADS_VALUE — fold provenance into the JSON in place.
 stamp() {
   local file="$1" jacepp_threads="$2" tmp
@@ -43,7 +58,10 @@ stamp() {
   jq --arg sha "${GIT_SHA}" \
      --argjson hw "${HW_THREADS}" \
      --arg jt "${jacepp_threads}" \
-     '. + {meta: {git_sha: $sha, hardware_threads: $hw, jacepp_threads: $jt}}' \
+     --arg isa "${CPU_ISA}" \
+     --arg simd "${SIMD_LEVEL}" \
+     '. + {meta: {git_sha: $sha, hardware_threads: $hw, jacepp_threads: $jt,
+                  cpu_isa: $isa, simd_dispatch: $simd}}' \
      "${file}" > "${tmp}" && mv "${tmp}" "${file}"
 }
 
@@ -52,6 +70,8 @@ if [[ ! -x "${BUILD_DIR}/bench/bench_micro" || ! -x "${BUILD_DIR}/bench/bench_ch
   cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
   cmake --build "${BUILD_DIR}" --target bench_micro bench_checkpoint bench_comm bench_hotpath -j
 fi
+
+SIMD_LEVEL="$("${BUILD_DIR}/bench/bench_hotpath" --simd-level 2>/dev/null || echo unknown)"
 
 serial_json="$(mktemp)"
 parallel_json="$(mktemp)"

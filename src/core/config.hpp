@@ -72,6 +72,19 @@ struct PerfConfig {
   /// Recycle message-body buffers through serial::BufferPool instead of
   /// freeing them on last-ref release. Bit-transparent to results.
   bool pool_buffers = true;
+  /// Run compute kernels through the runtime-dispatched SIMD layer
+  /// (linalg/simd.hpp; DESIGN.md §10). Off — the default — is bit-identical
+  /// to the scalar kernels. On, element-wise kernels stay bit-identical and
+  /// reductions reassociate within fixed-width lanes: bitwise reproducible
+  /// run to run on a given ISA level, and off-vs-on agree at solver
+  /// precision. Applied process-wide at deployment build time via
+  /// linalg::simd::set_enabled().
+  bool simd = false;
+  /// Build a SELL-slice twin of each Poisson block matrix and route the inner
+  /// CG's SpMV-shaped kernels through it (linalg/csr_sell.hpp). Only pays off
+  /// with `simd` on and AVX2 detected; correct (padded scalar loop)
+  /// everywhere. Applied via linalg::set_sell_enabled().
+  bool sell = false;
 };
 
 }  // namespace jacepp::core

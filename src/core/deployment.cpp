@@ -5,6 +5,8 @@
 #include "core/daemon.hpp"
 #include "core/messages.hpp"
 #include "core/super_peer.hpp"
+#include "linalg/csr_sell.hpp"
+#include "linalg/simd.hpp"
 #include "linalg/vector_ops.hpp"
 #include "serial/buffer_pool.hpp"
 #include "support/assert.hpp"
@@ -41,6 +43,8 @@ void SimDeployment::build() {
   // (see core/config.hpp); early_send travels with each Daemon below.
   linalg::set_kernel_grain(config_.perf.grain);
   serial::BufferPool::instance().set_enabled(config_.perf.pool_buffers);
+  linalg::simd::set_enabled(config_.perf.simd);
+  linalg::set_sell_enabled(config_.perf.sell);
 
   // --- Super-peer overlay (§5.1) ---
   std::vector<SuperPeer*> super_peers;

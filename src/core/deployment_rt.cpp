@@ -5,6 +5,8 @@
 #include "core/daemon.hpp"
 #include "core/messages.hpp"
 #include "core/super_peer.hpp"
+#include "linalg/csr_sell.hpp"
+#include "linalg/simd.hpp"
 #include "linalg/vector_ops.hpp"
 #include "serial/buffer_pool.hpp"
 #include "support/assert.hpp"
@@ -40,6 +42,8 @@ void RtDeployment::start() {
   // Iteration hot-path knobs (mirrors SimDeployment::build).
   linalg::set_kernel_grain(config_.perf.grain);
   serial::BufferPool::instance().set_enabled(config_.perf.pool_buffers);
+  linalg::simd::set_enabled(config_.perf.simd);
+  linalg::set_sell_enabled(config_.perf.sell);
 
   // Super-peers first: their addresses seed every bootstrap list.
   std::vector<net::Stub> full_stubs;

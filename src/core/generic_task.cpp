@@ -152,7 +152,7 @@ void GenericMultisplitTask::on_data(TaskId from_task, std::uint64_t /*iteration*
   // columns in ITS owned range that MY rows reference.
   const RowBlock& src = blocks_[from_task];
   serial::Reader reader(payload);
-  Vector values = reader.f64_vector();
+  Vector values = reader.f64_vector<Vector>();
   if (!reader.ok()) return;
 
   // Derive (once, lazily) the expected index list for this sender.
@@ -194,9 +194,9 @@ serial::Bytes GenericMultisplitTask::checkpoint() const {
 
 void GenericMultisplitTask::restore(const serial::Bytes& state) {
   serial::Reader reader(state);
-  x_local_ = reader.f64_vector();
-  owned_prev_ = reader.f64_vector();
-  x_halo_ = reader.f64_vector();
+  x_local_ = reader.f64_vector<Vector>();
+  owned_prev_ = reader.f64_vector<Vector>();
+  x_halo_ = reader.f64_vector<Vector>();
   local_error_ = reader.f64();
   iterations_ = reader.u64();
   informative_count_ = reader.u64();
@@ -258,7 +258,7 @@ linalg::Vector assemble_generic_solution(
   for (std::uint32_t t = 0; t < task_count && t < payloads.size(); ++t) {
     if (payloads[t].empty()) continue;
     serial::Reader reader(payloads[t]);
-    const Vector slice = reader.f64_vector();
+    const Vector slice = reader.f64_vector<Vector>();
     if (!reader.ok() || slice.size() != blocks[t].owned_size()) continue;
     std::copy(slice.begin(), slice.end(),
               x.begin() + static_cast<std::ptrdiff_t>(blocks[t].owned_lo));

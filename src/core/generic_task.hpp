@@ -41,7 +41,7 @@ struct GenericConfig {
   static GenericConfig deserialize(serial::Reader& r) {
     GenericConfig c;
     c.a = linalg::CsrMatrix::deserialize(r);
-    c.b = r.f64_vector();
+    c.b = r.f64_vector<linalg::Vector>();
     c.inner_tolerance = r.f64();
     c.inner_max_iterations = r.u32();
     c.work_scale = r.f64();

@@ -10,6 +10,8 @@
 
 namespace jacepp::linalg {
 
+class SellMatrix;
+
 struct CgOptions {
   double tolerance = 1e-10;      ///< stop when ||r|| <= tolerance * ||b||
   std::size_t max_iterations = 1000;
@@ -20,6 +22,14 @@ struct CgOptions {
   /// reductions chunk by rows instead of elements, so results may differ by
   /// FP reassociation only. flops accounting is identical either way.
   bool fused = true;
+  /// Optional SELL-slice twin of the CSR matrix (linalg/csr_sell.hpp, the
+  /// `perf.sell` knob). When set (and fused), the two SpMV-shaped kernels per
+  /// iteration — initial residual and p·Ap — run on the padded layout, which
+  /// vectorizes short stencil rows four at a time under AVX2. Must be built
+  /// from the same matrix the solve uses; agrees with the CSR path at solver
+  /// precision (lane reassociation only). flops accounting still charges the
+  /// real nnz.
+  const SellMatrix* sell = nullptr;
 };
 
 struct CgResult {

@@ -1,0 +1,80 @@
+// SELL-style padded sparse layout (Sliced ELLPACK, slice height 4 — one AVX2
+// register of doubles) for short-row matrices where CSR's per-row remainder
+// lanes dominate: the 5-point Poisson blocks average ~5 nnz/row, so a 4-wide
+// CSR row kernel spends nearly half its work in the scalar tail. SELL flips
+// the loop: four ROWS share one register, the slice is padded to its longest
+// row, and the nnz loop runs in lock-step with explicit zeros filling the
+// short lanes.
+//
+// Storage is lane-interleaved and 64-byte aligned: entry k of row
+// (4*s + lane) lives at slice_ptr[s] + 4*k + lane, so each k step is one
+// aligned 32-byte value load + one 32-bit index gather. Padding entries are
+// (value 0.0, column 0): they add 0.0 * x[0] to a lane, which never changes a
+// row sum (beyond the sign of an exact zero).
+//
+// Determinism: within a row, entries keep CSR's ascending-column order and
+// each lane accumulates serially over k — a SELL row sum performs the scalar
+// CSR row sum's operations in the same order (plus trailing zero-adds).
+// Reductions ACROSS rows hsum each slice in lane order before folding into
+// the chunk partial, so results are bitwise reproducible per ISA level but
+// may differ from the CSR kernels by that reassociation; solvers see
+// CSR-vs-SELL agreement at solver precision (tested). The layout is opt-in
+// behind `perf.sell` and only engages the vector path when `perf.simd`
+// resolves to AVX2 (no gather below it) — otherwise the padded scalar loop
+// runs, which is correct everywhere.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/csr.hpp"
+#include "linalg/vector_ops.hpp"
+#include "support/aligned.hpp"
+
+namespace jacepp::linalg {
+
+/// `perf.sell` knob: process-wide, set at deployment build time (like
+/// set_kernel_grain / simd::set_enabled). Tasks that can use the padded
+/// layout (PoissonTask's inner CG) consult it at init time.
+void set_sell_enabled(bool on);
+[[nodiscard]] bool sell_enabled();
+
+/// Immutable padded-slice matrix built from a CsrMatrix.
+class SellMatrix {
+ public:
+  /// Rows per slice — the AVX2 double lane count.
+  static constexpr std::size_t kSliceHeight = 4;
+
+  SellMatrix() = default;
+  explicit SellMatrix(const CsrMatrix& a);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t nnz() const { return nnz_; }
+  /// Stored entries including padding (>= nnz()).
+  [[nodiscard]] std::size_t padded_nnz() const { return values_.size(); }
+  /// nnz / padded_nnz — the fraction of stored work that is real.
+  [[nodiscard]] double fill_ratio() const;
+
+  /// y = A x.
+  void multiply(const Vector& x, Vector& y) const;
+
+  /// r = b - A x in one pass; returns ||r||_2 (the SELL twin of
+  /// linalg::spmv_residual_norm2). r is resized to rows().
+  double spmv_residual_norm2(const Vector& x, const Vector& b, Vector& r) const;
+
+  /// y = A x in one pass; returns <x, y> (the SELL twin of linalg::spmv_dot;
+  /// requires a square sweep).
+  double spmv_dot(const Vector& x, Vector& y) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t nnz_ = 0;
+  /// Per-slice entry offsets into values_/col_idx_, length slice_count + 1;
+  /// slice s holds (slice_ptr_[s+1] - slice_ptr_[s]) / 4 lock-step columns.
+  std::vector<std::uint32_t> slice_ptr_;
+  support::AlignedVector<std::uint32_t> col_idx_;
+  support::AlignedVector<double> values_;
+};
+
+}  // namespace jacepp::linalg

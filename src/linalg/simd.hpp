@@ -1,0 +1,125 @@
+// Portable-intrinsics SIMD layer for the iteration hot path (DESIGN.md §10).
+//
+// One binary carries three implementations of every kernel — AVX2, SSE2 and
+// scalar — and picks the widest one the executing CPU supports, once, via
+// CPUID (detected_level()). The whole layer sits behind the `perf.simd` knob:
+// with set_enabled(false) (the default) active_level() is scalar and every
+// wrapped call site in vector_ops.cpp / fused.cpp / csr.cpp runs its original
+// scalar loop untouched, bit-identical to the pre-SIMD code.
+//
+// Determinism contract (mirrors the fused-kernel contract in fused.hpp):
+//   * enabled: each kernel uses FIXED-width lane accumulators and reduces the
+//     lanes in a fixed order, so for a given (input, chunking, ISA level) the
+//     result is bitwise reproducible run to run. Results may differ from the
+//     scalar path only by floating-point reassociation across lanes; solvers
+//     see off-vs-on agreement at solver precision (tested).
+//   * element-wise kernels (axpy, axpby, scale, hadamard, sub) perform the
+//     exact per-element operations of the scalar loop — no reassociation is
+//     possible, so they stay bit-identical to scalar at every level.
+//
+// These are CHUNK kernels: the thread-pool call sites keep their existing
+// grain-based chunking (support/thread_pool.hpp) and invoke one of these per
+// chunk, so pool determinism (chunk boundaries, merge order) is unchanged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace jacepp::linalg::simd {
+
+/// ISA dispatch level, ordered by width.
+enum class Level : int { scalar = 0, sse2 = 1, avx2 = 2 };
+
+/// Widest level the executing CPU supports (CPUID, evaluated once).
+[[nodiscard]] Level detected_level();
+
+/// Lowercase name for reports and bench metadata: "scalar", "sse2", "avx2".
+[[nodiscard]] const char* level_name(Level level);
+
+/// `perf.simd` knob: process-wide, set at deployment build time (like
+/// set_kernel_grain). Off by default.
+void set_enabled(bool on);
+[[nodiscard]] bool enabled();
+
+/// detected_level() when enabled, Level::scalar otherwise.
+[[nodiscard]] Level active_level();
+
+/// True when a vector unit is both available and switched on — the call
+/// sites' "take the SIMD branch" predicate.
+[[nodiscard]] bool active();
+
+/// Doubles per vector register at `level` (1 / 2 / 4) — the unit tests use it
+/// to build remainder-lane edge cases (n = width ± 1).
+[[nodiscard]] std::size_t lane_width(Level level);
+
+// --- BLAS-1 chunk kernels ---------------------------------------------------
+
+/// Σ x[i] * y[i].
+[[nodiscard]] double dot(const double* x, const double* y, std::size_t n);
+
+/// Σ x[i]².
+[[nodiscard]] double norm2sq(const double* x, std::size_t n);
+
+/// y[i] += alpha * x[i].
+void axpy(double alpha, const double* x, double* y, std::size_t n);
+
+/// y[i] = alpha * x[i] + beta * y[i].
+void axpby(double alpha, const double* x, double beta, double* y,
+           std::size_t n);
+
+/// x[i] *= alpha.
+void scale(double* x, double alpha, std::size_t n);
+
+/// out[i] = x[i] * y[i].
+void hadamard(const double* x, const double* y, double* out, std::size_t n);
+
+/// out[i] = a[i] - b[i].
+void sub(const double* a, const double* b, double* out, std::size_t n);
+
+/// y[i] += alpha * x[i]; returns Σ y[i]² (post-update) — the fused
+/// residual-update kernel of fused.cpp.
+[[nodiscard]] double axpy_norm2sq(double alpha, const double* x, double* y,
+                                  std::size_t n);
+
+// --- CSR row-block chunk kernels -------------------------------------------
+// All operate on rows [row_lo, row_hi) of a CsrMatrix's raw arrays. The AVX2
+// variants vectorize the per-row nnz loop with 32-bit gathers; SSE2 has no
+// gather, so these fall back to scalar below AVX2 (BLAS-1 is where SSE2
+// pays).
+
+/// y[r] += Σ_k values[k] * x[col_idx[k]].
+void spmv_add(const std::uint32_t* row_ptr, const std::uint32_t* col_idx,
+              const double* values, const double* x, double* y,
+              std::size_t row_lo, std::size_t row_hi);
+
+/// r[row] = b[row] - (A x)[row]; returns Σ r[row]² over the range.
+[[nodiscard]] double spmv_residual(const std::uint32_t* row_ptr,
+                                   const std::uint32_t* col_idx,
+                                   const double* values, const double* x,
+                                   const double* b, double* r,
+                                   std::size_t row_lo, std::size_t row_hi);
+
+/// y[row] = (A x)[row]; returns Σ x[row] * y[row] over the range (square
+/// sweep).
+[[nodiscard]] double spmv_dot(const std::uint32_t* row_ptr,
+                              const std::uint32_t* col_idx,
+                              const double* values, const double* x, double* y,
+                              std::size_t row_lo, std::size_t row_hi);
+
+/// Partial sums of one fused weighted-Jacobi sweep (fused.hpp SweepStats).
+struct SweepPartial {
+  double diff2 = 0.0;
+  double norm2 = 0.0;
+};
+
+/// x_out[row] = x_in[row] + omega * inv_diag[row] * (b[row] - (A x_in)[row]);
+/// accumulates diff2 / norm2 over the range.
+[[nodiscard]] SweepPartial relax_sweep(const std::uint32_t* row_ptr,
+                                       const std::uint32_t* col_idx,
+                                       const double* values,
+                                       const double* inv_diag, const double* b,
+                                       const double* x_in, double* x_out,
+                                       double omega, std::size_t row_lo,
+                                       std::size_t row_hi);
+
+}  // namespace jacepp::linalg::simd

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "linalg/simd.hpp"
 #include "support/assert.hpp"
 #include "support/thread_pool.hpp"
 
@@ -51,8 +52,15 @@ void axpy(double alpha, const Vector& x, Vector& y) {
   JACEPP_ASSERT(x.size() == y.size());
   const double* xs = x.data();
   double* ys = y.data();
+  // The simd decision is latched before the parallel region so one kernel
+  // call never mixes paths (set_enabled happens at deployment build time).
+  const bool vec = simd::active();
   compute_pool().parallel_for(0, x.size(), vector_op_grain(),
                               [=](std::size_t lo, std::size_t hi) {
+                                if (vec) {
+                                  simd::axpy(alpha, xs + lo, ys + lo, hi - lo);
+                                  return;
+                                }
                                 for (std::size_t i = lo; i < hi; ++i) {
                                   ys[i] += alpha * xs[i];
                                 }
@@ -63,8 +71,14 @@ void axpby(double alpha, const Vector& x, double beta, Vector& y) {
   JACEPP_ASSERT(x.size() == y.size());
   const double* xs = x.data();
   double* ys = y.data();
+  const bool vec = simd::active();
   compute_pool().parallel_for(0, x.size(), vector_op_grain(),
                               [=](std::size_t lo, std::size_t hi) {
+                                if (vec) {
+                                  simd::axpby(alpha, xs + lo, beta, ys + lo,
+                                              hi - lo);
+                                  return;
+                                }
                                 for (std::size_t i = lo; i < hi; ++i) {
                                   ys[i] = alpha * xs[i] + beta * ys[i];
                                 }
@@ -75,9 +89,11 @@ double dot(const Vector& x, const Vector& y) {
   JACEPP_ASSERT(x.size() == y.size());
   const double* xs = x.data();
   const double* ys = y.data();
+  const bool vec = simd::active();
   return compute_pool().parallel_reduce(
       0, x.size(), vector_op_grain(), 0.0,
       [=](std::size_t lo, std::size_t hi) {
+        if (vec) return simd::dot(xs + lo, ys + lo, hi - lo);
         double acc = 0.0;
         for (std::size_t i = lo; i < hi; ++i) acc += xs[i] * ys[i];
         return acc;
@@ -101,6 +117,8 @@ double norm_inf(const Vector& x) {
 
 double distance2(const Vector& x, const Vector& y) {
   JACEPP_ASSERT(x.size() == y.size());
+  // Max-norm and distance kernels stay scalar: they live on convergence
+  // checks, not the per-iteration hot path.
   const double* xs = x.data();
   const double* ys = y.data();
   const double acc = compute_pool().parallel_reduce(
@@ -139,8 +157,14 @@ void hadamard(const Vector& x, const Vector& y, Vector& out) {
   const double* xs = x.data();
   const double* ys = y.data();
   double* os = out.data();
+  const bool vec = simd::active();
   compute_pool().parallel_for(0, x.size(), vector_op_grain(),
                               [=](std::size_t lo, std::size_t hi) {
+                                if (vec) {
+                                  simd::hadamard(xs + lo, ys + lo, os + lo,
+                                                 hi - lo);
+                                  return;
+                                }
                                 for (std::size_t i = lo; i < hi; ++i) {
                                   os[i] = xs[i] * ys[i];
                                 }
@@ -149,8 +173,13 @@ void hadamard(const Vector& x, const Vector& y, Vector& out) {
 
 void scale(Vector& x, double alpha) {
   double* xs = x.data();
+  const bool vec = simd::active();
   compute_pool().parallel_for(0, x.size(), vector_op_grain(),
                               [=](std::size_t lo, std::size_t hi) {
+                                if (vec) {
+                                  simd::scale(xs + lo, alpha, hi - lo);
+                                  return;
+                                }
                                 for (std::size_t i = lo; i < hi; ++i) xs[i] *= alpha;
                               });
 }
@@ -169,8 +198,13 @@ void residual(const Vector& b, const Vector& ax, Vector& r) {
   const double* bs = b.data();
   const double* as = ax.data();
   double* rs = r.data();
+  const bool vec = simd::active();
   compute_pool().parallel_for(0, b.size(), vector_op_grain(),
                               [=](std::size_t lo, std::size_t hi) {
+                                if (vec) {
+                                  simd::sub(bs + lo, as + lo, rs + lo, hi - lo);
+                                  return;
+                                }
                                 for (std::size_t i = lo; i < hi; ++i) {
                                   rs[i] = bs[i] - as[i];
                                 }

@@ -1,5 +1,7 @@
-// Dense vector kernels. Vectors are plain std::vector<double>; these free
-// functions provide the BLAS-1 level operations the solvers need.
+// Dense vector kernels. Vectors are std::vector<double> over a 64-byte
+// aligned allocator (support/aligned.hpp) so kernel operands start on a cache
+// line; these free functions provide the BLAS-1 level operations the solvers
+// need.
 //
 // Every kernel runs through compute_pool() (support/thread_pool.hpp): serial
 // and bit-identical to a plain loop when the pool size is 1, chunked across
@@ -9,14 +11,25 @@
 // boundaries (and so may reassociate reductions for pool sizes >= 2), but for
 // any FIXED grain the chunk-stability contract holds across all pool sizes
 // >= 2, and the pool-size-1 result never depends on the grain at all.
+//
+// With `perf.simd` on (linalg/simd.hpp) each chunk body runs the dispatched
+// vector kernel instead of the scalar loop: element-wise kernels stay
+// bit-identical, reductions reassociate within fixed-width lanes (still
+// bitwise reproducible run to run on a given ISA). simd off — the default —
+// leaves every loop exactly as before the SIMD layer existed.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "support/aligned.hpp"
+
 namespace jacepp::linalg {
 
-using Vector = std::vector<double>;
+/// Kernel operand vector: std::vector<double> semantics, 64-byte-aligned
+/// storage. Interchangeable with std::vector<double> everywhere except the
+/// type itself (the serializer templates over the allocator).
+using Vector = support::AlignedVector<double>;
 
 /// Default elements per parallel chunk: ranges shorter than this always run
 /// serially. The live value is vector_op_grain().

@@ -83,6 +83,9 @@ void PoissonTask::init(const core::AppDescriptor& app, core::TaskId task_id) {
   inv_diag_ = a_local_.diagonal();
   for (double& d : inv_diag_) d = 1.0 / d;  // 4/h² on every row, never zero
 
+  sell_.reset();
+  if (linalg::sell_enabled()) sell_.emplace(a_local_);
+
   x_ext_.assign(block_.ext_size(), 0.0);
   early_x_.clear();
   owned_prev_.assign(block_.owned_size(), 0.0);
@@ -142,6 +145,7 @@ double PoissonTask::iterate() {
   linalg::CgOptions options;
   options.tolerance = config_.inner_tolerance;
   options.max_iterations = config_.inner_max_iterations;
+  if (sell_) options.sell = &*sell_;
   const auto cg = linalg::conjugate_gradient(a_local_, rhs, x_ext_, options);
   last_solve_converged_ = cg.converged;
   sent_since_last_solve_ = false;
@@ -284,7 +288,7 @@ std::vector<core::OutgoingData> PoissonTask::outgoing() {
 void PoissonTask::on_data(core::TaskId from_task, std::uint64_t iteration,
                           const serial::Bytes& payload) {
   serial::Reader reader(payload);
-  linalg::Vector line = reader.f64_vector();
+  linalg::Vector line = reader.f64_vector<linalg::Vector>();
   if (!reader.ok() || line.size() != config_.n) return;  // malformed: drop
   // Last-received-wins: after a neighbour restarts from a checkpoint its
   // iteration counter regresses, yet its data is the freshest available, so
@@ -326,10 +330,10 @@ serial::Bytes PoissonTask::checkpoint() const {
 
 void PoissonTask::restore(const serial::Bytes& state) {
   serial::Reader reader(state);
-  x_ext_ = reader.f64_vector();
-  owned_prev_ = reader.f64_vector();
-  lower_boundary_ = reader.f64_vector();
-  upper_boundary_ = reader.f64_vector();
+  x_ext_ = reader.f64_vector<linalg::Vector>();
+  owned_prev_ = reader.f64_vector<linalg::Vector>();
+  lower_boundary_ = reader.f64_vector<linalg::Vector>();
+  upper_boundary_ = reader.f64_vector<linalg::Vector>();
   lower_tag_ = reader.u64();
   upper_tag_ = reader.u64();
   local_error_ = reader.f64();
@@ -392,7 +396,7 @@ linalg::Vector assemble_solution(std::size_t n, std::uint32_t task_count,
   for (std::uint32_t t = 0; t < task_count && t < payloads.size(); ++t) {
     if (payloads[t].empty()) continue;
     serial::Reader reader(payloads[t]);
-    const linalg::Vector slice = reader.f64_vector();
+    const linalg::Vector slice = reader.f64_vector<linalg::Vector>();
     if (!reader.ok() || slice.size() != blocks[t].owned_size()) continue;
     std::copy(slice.begin(), slice.end(),
               x.begin() + static_cast<std::ptrdiff_t>(blocks[t].owned_lo));

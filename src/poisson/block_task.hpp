@@ -11,11 +11,13 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/task.hpp"
 #include "linalg/cg.hpp"
 #include "linalg/csr.hpp"
+#include "linalg/csr_sell.hpp"
 #include "linalg/partition.hpp"
 
 namespace jacepp::poisson {
@@ -115,6 +117,10 @@ class PoissonTask : public core::Task {
   linalg::RowBlock block_;
 
   linalg::CsrMatrix a_local_;
+  /// SELL-slice twin of a_local_ for the inner CG's SpMV kernels, built at
+  /// init when `perf.sell` is on (linalg::sell_enabled()). Derived from
+  /// a_local_ like the matrix itself, so checkpoints never carry it.
+  std::optional<linalg::SellMatrix> sell_;
   linalg::Vector b_ext_;
   linalg::Vector x_ext_;
   linalg::Vector owned_prev_;

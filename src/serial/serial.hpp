@@ -20,6 +20,7 @@
 #include <bit>
 #include <cstdint>
 #include <cstring>
+#include <initializer_list>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -94,10 +95,20 @@ class Writer {
     buffer_.insert(buffer_.end(), b.begin(), b.end());
   }
 
-  /// Vector of doubles: varint length + raw IEEE-754 payload.
-  void f64_vector(const std::vector<double>& v) {
+  /// Vector of doubles: varint length + raw IEEE-754 payload. Templated over
+  /// the allocator so over-aligned kernel vectors (linalg::Vector,
+  /// support/aligned.hpp) encode through the same bulk path — the wire format
+  /// does not change with the storage alignment.
+  template <typename Alloc>
+  void f64_vector(const std::vector<double, Alloc>& v) {
     varint(v.size());
     append_le(v.data(), v.size());
+  }
+
+  /// Braced-list convenience: `{1.0, 2.0}` cannot deduce the allocator above.
+  void f64_vector(std::initializer_list<double> v) {
+    varint(v.size());
+    append_le(v.begin(), v.size());
   }
 
   void u32_vector(const std::vector<std::uint32_t>& v) {
@@ -252,11 +263,23 @@ class Reader {
     return b;
   }
 
-  std::vector<double> f64_vector() { return vector_le<double>(); }
+  /// Decode a double vector. The vector type is a template parameter so call
+  /// sites can decode straight into an over-aligned container
+  /// (`r.f64_vector<linalg::Vector>()`); the default keeps the historical
+  /// std::vector<double> return.
+  template <typename Vec = std::vector<double>>
+  Vec f64_vector() {
+    static_assert(std::is_same_v<typename Vec::value_type, double>);
+    return vector_le<Vec>();
+  }
 
-  std::vector<std::uint32_t> u32_vector() { return vector_le<std::uint32_t>(); }
+  std::vector<std::uint32_t> u32_vector() {
+    return vector_le<std::vector<std::uint32_t>>();
+  }
 
-  std::vector<std::uint64_t> u64_vector() { return vector_le<std::uint64_t>(); }
+  std::vector<std::uint64_t> u64_vector() {
+    return vector_le<std::vector<std::uint64_t>>();
+  }
 
   template <typename T>
   T object() {
@@ -283,8 +306,8 @@ class Reader {
   /// claimed element count against the remaining payload (dividing, so the
   /// byte count `len * sizeof(T)` can never wrap for adversarial lengths),
   /// then decodes with a single memcpy on little-endian hosts.
-  template <typename T>
-  std::vector<T> vector_le() {
+  template <typename Vec, typename T = typename Vec::value_type>
+  Vec vector_le() {
     static_assert(std::is_trivially_copyable_v<T>);
     const std::uint64_t len = varint();
     if (!ok_) return {};
@@ -292,7 +315,7 @@ class Reader {
       poison("vector length exceeds payload");
       return {};
     }
-    std::vector<T> v(static_cast<std::size_t>(len));
+    Vec v(static_cast<std::size_t>(len));
     if constexpr (std::endian::native == std::endian::little) {
       std::memcpy(v.data(), data_ + pos_, v.size() * sizeof(T));
       pos_ += v.size() * sizeof(T);

@@ -1,15 +1,62 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/assert.hpp"
 
 namespace jacepp::sim {
 
+namespace {
+constexpr std::size_t kArity = 4;
+}  // namespace
+
+void EventQueue::sift_up(std::size_t i) {
+  Entry moving = std::move(heap_[i]);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!before(moving, heap_[parent])) break;
+    heap_[i] = std::move(heap_[parent]);
+    i = parent;
+  }
+  heap_[i] = std::move(moving);
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  Entry moving = std::move(heap_[i]);
+  while (true) {
+    const std::size_t first_child = kArity * i + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + kArity, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], moving)) break;
+    heap_[i] = std::move(heap_[best]);
+    i = best;
+  }
+  heap_[i] = std::move(moving);
+}
+
+void EventQueue::rebuild() {
+  // Floyd heap construction: sift down every internal node, deepest first.
+  if (heap_.size() < 2) return;
+  const std::size_t last_parent = (heap_.size() - 2) / kArity;
+  for (std::size_t i = last_parent + 1; i-- > 0;) sift_down(i);
+}
+
+void EventQueue::pop_top() {
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
 EventId EventQueue::schedule(double when, std::function<void()> fn) {
   const EventId id = next_id_++;
   heap_.push_back(Entry{when, id, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  sift_up(heap_.size() - 1);
   return id;
 }
 
@@ -29,7 +76,7 @@ void EventQueue::purge() {
                              }),
               heap_.end());
   cancelled_.clear();
-  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  rebuild();
 }
 
 void EventQueue::drop_cancelled() {
@@ -37,8 +84,7 @@ void EventQueue::drop_cancelled() {
     auto it = cancelled_.find(heap_.front().id);
     if (it == cancelled_.end()) break;
     cancelled_.erase(it);
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
+    pop_top();
   }
 }
 
@@ -56,9 +102,8 @@ double EventQueue::next_time() {
 std::function<void()> EventQueue::pop(double* now) {
   drop_cancelled();
   JACEPP_CHECK(!heap_.empty(), "pop on empty EventQueue");
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry top = std::move(heap_.back());
-  heap_.pop_back();
+  Entry top = std::move(heap_.front());
+  pop_top();
   if (now != nullptr) *now = top.time;
   return std::move(top.fn);
 }
