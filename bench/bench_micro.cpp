@@ -2,6 +2,10 @@
 // primitives everything else is built on.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "linalg/cg.hpp"
 #include "linalg/csr.hpp"
 #include "linalg/csr_sell.hpp"
@@ -13,6 +17,7 @@
 #include "poisson/poisson.hpp"
 #include "serial/serial.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/world.hpp"
 #include "support/queue.hpp"
 #include "support/rng.hpp"
 
@@ -304,6 +309,72 @@ void BM_EventQueueCancel(benchmark::State& state) {
                           static_cast<std::int64_t>(batch));
 }
 BENCHMARK(BM_EventQueueCancel)->Arg(1000)->Arg(10000);
+
+// Sharded-scheduler micro-costs (DESIGN.md §12). Same event batch pushed
+// through one queue vs hash-partitioned across N shard queues: the work is
+// identical, but each heap is ~1/N the size, so sift depth shrinks — the
+// serial-side win bench_scale measures at the 10k-daemon tier.
+void BM_EventQueueShardedPushPop(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kEvents = 10000;
+  Rng rng(5);
+  std::vector<std::pair<double, std::uint64_t>> events;  // (time, node id)
+  events.reserve(kEvents);
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    events.emplace_back(rng.next_double(), rng.next_u64());
+  }
+  for (auto _ : state) {
+    std::vector<sim::EventQueue> queues(shards);
+    for (const auto& [t, id] : events) {
+      queues[sim::SimWorld::shard_of(id, shards)].schedule(t, [] {});
+    }
+    double now = 0;
+    for (auto& q : queues) {
+      while (!q.empty()) q.pop(&now)();
+    }
+    benchmark::DoNotOptimize(now);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kEvents));
+}
+BENCHMARK(BM_EventQueueShardedPushPop)->Arg(1)->Arg(4)->Arg(8);
+
+// The between-rounds mailbox merge: concatenate per-shard outboxes (each
+// already in send order), stable-sort pointers by arrival, and re-schedule
+// into destination queues — the serial coordination cost every round pays.
+void BM_ShardOutboxMerge(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kFrames = 10000;
+  struct Frame {
+    double arrival;
+    std::uint32_t dest_shard;
+  };
+  Rng rng(6);
+  std::vector<std::vector<Frame>> outboxes(shards);
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    outboxes[i % shards].push_back(
+        Frame{rng.next_double(), static_cast<std::uint32_t>(rng.index(shards))});
+  }
+  for (auto _ : state) {
+    std::vector<const Frame*> merged;
+    merged.reserve(kFrames);
+    for (const auto& outbox : outboxes) {
+      for (const Frame& f : outbox) merged.push_back(&f);
+    }
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const Frame* a, const Frame* b) {
+                       return a->arrival < b->arrival;
+                     });
+    std::vector<sim::EventQueue> queues(shards);
+    for (const Frame* f : merged) {
+      queues[f->dest_shard].schedule(f->arrival, [] {});
+    }
+    benchmark::DoNotOptimize(queues.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kFrames));
+}
+BENCHMARK(BM_ShardOutboxMerge)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_MessageEncodeDecode(benchmark::State& state) {
   core::AppRegister reg;

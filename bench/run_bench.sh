@@ -7,9 +7,11 @@
 # side by side. Then runs bench_checkpoint once and writes $CKPT_OUT with the
 # full-vs-delta frame sizes and timings (the incremental-checkpoint payoff).
 #
-# Also runs bench_comm (the staleness-aware comm path ablation, $COMM_OUT)
-# and bench_hotpath (the fused/early-send/pool iteration hot-path ablation,
-# $HOTPATH_OUT). Every BENCH_*.json is stamped with a `meta` object recording
+# Also runs bench_comm (the staleness-aware comm path ablation, $COMM_OUT),
+# bench_hotpath (the fused/early-send/pool iteration hot-path ablation,
+# $HOTPATH_OUT) and bench_scale (the daemon-count x shard-count sweep of the
+# sharded scheduler, $SCALE_OUT). Every BENCH_*.json is stamped with a `meta`
+# object recording
 # the git SHA, the machine's hardware thread count, the JACEPP_THREADS
 # setting, the CPU's vector ISA flags and the SIMD dispatch level the binary
 # selects, so recorded numbers stay attributable to a revision and a machine.
@@ -17,10 +19,10 @@
 # committed baseline and prints warn-only regression notices.
 #
 # Usage:
-#   bench/run_bench.sh          # writes BENCH_micro/checkpoint/comm/hotpath.json
+#   bench/run_bench.sh      # writes BENCH_micro/checkpoint/comm/hotpath/scale.json
 #   THREADS=8 OUT=/tmp/b.json bench/run_bench.sh
 #   BENCH_FILTER='BM_SpMV|BM_ConjugateGradient' bench/run_bench.sh
-#   COMM_ARGS=--smoke HOTPATH_ARGS=--smoke bench/run_bench.sh   # fast (CI)
+#   COMM_ARGS=--smoke HOTPATH_ARGS=--smoke SCALE_ARGS=--smoke bench/run_bench.sh
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -29,10 +31,12 @@ OUT="${OUT:-${REPO_ROOT}/BENCH_micro.json}"
 CKPT_OUT="${CKPT_OUT:-${REPO_ROOT}/BENCH_checkpoint.json}"
 COMM_OUT="${COMM_OUT:-${REPO_ROOT}/BENCH_comm.json}"
 HOTPATH_OUT="${HOTPATH_OUT:-${REPO_ROOT}/BENCH_hotpath.json}"
+SCALE_OUT="${SCALE_OUT:-${REPO_ROOT}/BENCH_scale.json}"
 THREADS="${THREADS:-4}"
 BENCH_FILTER="${BENCH_FILTER:-.}"
 COMM_ARGS="${COMM_ARGS:-}"
 HOTPATH_ARGS="${HOTPATH_ARGS:-}"
+SCALE_ARGS="${SCALE_ARGS:-}"
 
 GIT_SHA="$(git -C "${REPO_ROOT}" rev-parse HEAD 2>/dev/null || echo unknown)"
 HW_THREADS="$(nproc 2>/dev/null || echo 0)"
@@ -66,9 +70,10 @@ stamp() {
 }
 
 if [[ ! -x "${BUILD_DIR}/bench/bench_micro" || ! -x "${BUILD_DIR}/bench/bench_checkpoint" \
-      || ! -x "${BUILD_DIR}/bench/bench_comm" || ! -x "${BUILD_DIR}/bench/bench_hotpath" ]]; then
+      || ! -x "${BUILD_DIR}/bench/bench_comm" || ! -x "${BUILD_DIR}/bench/bench_hotpath" \
+      || ! -x "${BUILD_DIR}/bench/bench_scale" ]]; then
   cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
-  cmake --build "${BUILD_DIR}" --target bench_micro bench_checkpoint bench_comm bench_hotpath -j
+  cmake --build "${BUILD_DIR}" --target bench_micro bench_checkpoint bench_comm bench_hotpath bench_scale -j
 fi
 
 SIMD_LEVEL="$("${BUILD_DIR}/bench/bench_hotpath" --simd-level 2>/dev/null || echo unknown)"
@@ -140,5 +145,18 @@ jq -r '
   "pool      : encode \(.pool.encode.speedup)x  deployment reuse_rate \(.pool.deployment.reuse_rate)"
 ' "${HOTPATH_OUT}"
 
+echo "== bench_scale (daemons x shards sweep${SCALE_ARGS:+, ${SCALE_ARGS}})  =="
+# Exits non-zero if any shard count diverges from the shards=1 counters — the
+# sweep doubles as a determinism gate (set -e stops the script on that).
+"${BUILD_DIR}/bench/bench_scale" ${SCALE_ARGS} > "${SCALE_OUT}"
+
+stamp "${SCALE_OUT}" "${JACEPP_THREADS:-default}"
+echo "wrote ${SCALE_OUT}"
+jq -r '
+  (.cases[] |
+    "daemons \(.daemons)  shards \(.shards): \(.events_per_sec | floor) ev/s  wall \((.wall_s * 1000 | floor) / 1000)s  cross \((.cross_shard_fraction * 100 | floor))%"),
+  "floor: sharded/single at \(.floor.daemons) daemons = \(.floor.ratio)x (best: \(.floor.best_shards) shards)"
+' "${SCALE_OUT}"
+
 echo "== bench-guard (warn-only, vs committed baseline) =="
-"${REPO_ROOT}/scripts/bench_guard.sh" "${OUT}" "${CKPT_OUT}" "${COMM_OUT}" "${HOTPATH_OUT}"
+"${REPO_ROOT}/scripts/bench_guard.sh" "${OUT}" "${CKPT_OUT}" "${COMM_OUT}" "${HOTPATH_OUT}" "${SCALE_OUT}"

@@ -23,6 +23,14 @@
 #     a cliff detector for bugs like a serializing gather dependency, not a
 #     perf target). Floors only apply when the runtime dispatcher actually
 #     selected avx2.
+#  3. Sharded-scheduler floor — inside BENCH_scale.json, best sharded
+#     events/sec at the 1k-daemon tier vs single-queue, measured within one
+#     run. The floor is 1.0x with the guard tolerance applied (passes while
+#     ratio >= 1 - BENCH_GUARD_TOL): on a 1-core runner sharding is
+#     parity-at-best (smaller heaps vs round overhead) and the measured ratio
+#     hovers around 1.0 with scheduler noise, so this is a cliff detector for
+#     bugs like an accidentally serializing round barrier, not a speedup
+#     target. The real speedup lives at the 10k tier (see EXPERIMENTS.md).
 #
 # Usage: scripts/bench_guard.sh BENCH_micro.json [BENCH_hotpath.json ...]
 #        BENCH_GUARD_STRICT=1 BENCH_GUARD_SKIP_BASELINE=1 scripts/bench_guard.sh BENCH_hotpath.json
@@ -60,6 +68,10 @@ metrics_for() {
           | "early/\(.key)/exec_s \(.value.execution_time_s)"),
         "pool/encode_ns \(.pool.encode.pooled_ns)"
       ' "${file}" ;;
+    BENCH_scale.json)
+      jq -r '
+        (.cases // [])[] | "scale/d\(.daemons)/s\(.shards)/wall_s \(.wall_s)"
+      ' "${file}" ;;
     *) ;;
   esac
 }
@@ -83,6 +95,18 @@ simd_floor_checks() {
   ' "${file}" 2>/dev/null
 }
 
+# Sharded-scheduler floor (see header, check 3). Within-run ratio, so it is
+# machine-portable; tolerance-adjusted because the 1k tier sits at parity.
+scale_floor_checks() {
+  local file="$1"
+  jq -r --argjson tol "${TOL}" '
+    (.floor // empty) |
+    select(.single_eps > 0) |
+    select(.ratio < 1.0 - $tol) |
+    "bench-guard: FLOOR scale/sharded_vs_single@\(.daemons): \(.ratio)x below floor 1.0x (tolerance \($tol * 100 | floor)%)"
+  ' "${file}" 2>/dev/null
+}
+
 total_warnings=0
 for file in "$@"; do
   name="$(basename "${file}")"
@@ -98,6 +122,16 @@ for file in "$@"; do
       total_warnings=$((total_warnings + $(echo "${floor_violations}" | wc -l)))
     else
       echo "bench-guard: ${name}: simd speedup floors hold"
+    fi
+  fi
+
+  if [[ "${name}" == "BENCH_scale.json" ]]; then
+    scale_violations="$(scale_floor_checks "${file}")"
+    if [[ -n "${scale_violations}" ]]; then
+      echo "${scale_violations}"
+      total_warnings=$((total_warnings + $(echo "${scale_violations}" | wc -l)))
+    else
+      echo "bench-guard: ${name}: sharded throughput floor holds"
     fi
   fi
 

@@ -2,6 +2,11 @@
 // Defaults are tuned for the simulator (sub-second heartbeats keep failure
 // detection fast relative to iteration times); the threaded runtime uses the
 // same knobs with smaller values in tests.
+//
+// Simulator-only scale knobs — `shards` / `worker_threads`, env fallback
+// JACEPP_SIM_SHARDS — live in sim::SimConfig (sim/world.hpp; DESIGN.md §12)
+// and reach experiments through SimDeploymentConfig::sim. They are listed
+// here because this header is the knob index for deployments.
 #pragma once
 
 #include <cstddef>

@@ -154,6 +154,7 @@ SimExperimentReport SimDeployment::run() {
   }
   report_.net = world_->stats();
   report_.comm = world_->comm_stats().snapshot();
+  report_.shards = world_->shard_count();
   report_.sim_end_time = world_->now();
   return report_;
 }

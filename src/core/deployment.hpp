@@ -27,6 +27,10 @@ struct SimDeploymentConfig {
   TimingConfig timing;
   CommConfig comm;                    ///< staleness-aware comm path knobs
   PerfConfig perf;                    ///< iteration hot-path knobs (§9)
+  /// Simulator knobs, including the sharded-scheduler scale controls
+  /// `sim.shards` / `sim.worker_threads` (env fallback JACEPP_SIM_SHARDS;
+  /// DESIGN.md §12). The default (shards = 0 → 1) is bit-identical to the
+  /// single-queue scheduler.
   sim::SimConfig sim;
   sim::FleetModel fleet;
 
@@ -55,6 +59,7 @@ struct SimExperimentReport {
   SpawnerReport spawner;
   sim::NetStats net;
   net::CommStatsSnapshot comm;  ///< link-layer counters (zero when inactive)
+  std::size_t shards = 1;       ///< scheduler partitions the world ran with
   double sim_end_time = 0.0;
   std::size_t disconnections_executed = 0;
   std::size_t reconnections_executed = 0;

@@ -57,11 +57,17 @@ EventId EventQueue::schedule(double when, std::function<void()> fn) {
   const EventId id = next_id_++;
   heap_.push_back(Entry{when, id, std::move(fn)});
   sift_up(heap_.size() - 1);
+  ++live_;
+  // A fresh id is never in cancelled_, so the top-live invariant holds.
   return id;
 }
 
 void EventQueue::cancel(EventId id) {
-  cancelled_.insert(id);
+  if (!cancelled_.insert(id).second) return;  // duplicate cancel: no-op
+  if (live_ > 0) --live_;
+  // Restore the top-live invariant before returning so empty()/next_time()
+  // stay pure reads.
+  drop_cancelled();
   if (cancelled_.size() > heap_.size() / 2) purge();
 }
 
@@ -69,13 +75,16 @@ void EventQueue::purge() {
   // Sweep every tombstone out of the heap in one pass and rebuild. Each
   // cancelled id is either in the heap (removed here) or was already popped
   // (stale cancel); both ways the set empties, so tombstone memory is bounded
-  // by half the live-event count between purges.
+  // by half the live-event count between purges. After the sweep the heap
+  // holds live events only, which also reconciles live_ against any stale
+  // cancels that decremented it spuriously.
   heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
                              [this](const Entry& e) {
                                return cancelled_.count(e.id) != 0;
                              }),
               heap_.end());
   cancelled_.clear();
+  live_ = heap_.size();
   rebuild();
 }
 
@@ -88,22 +97,18 @@ void EventQueue::drop_cancelled() {
   }
 }
 
-bool EventQueue::empty() {
-  drop_cancelled();
-  return heap_.empty();
-}
-
-double EventQueue::next_time() {
-  drop_cancelled();
+double EventQueue::next_time() const {
   JACEPP_CHECK(!heap_.empty(), "next_time on empty EventQueue");
   return heap_.front().time;
 }
 
 std::function<void()> EventQueue::pop(double* now) {
-  drop_cancelled();
   JACEPP_CHECK(!heap_.empty(), "pop on empty EventQueue");
   Entry top = std::move(heap_.front());
   pop_top();
+  if (live_ > 0) --live_;
+  // The popped entry was live (invariant); the new top may be a tombstone.
+  drop_cancelled();
   if (now != nullptr) *now = top.time;
   return std::move(top.fn);
 }

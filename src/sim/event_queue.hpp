@@ -12,11 +12,14 @@
 // replay the same schedules. bench_micro's event_queue rows track
 // push/pop/cancel cost.
 //
-// Cancelled events are tombstoned, not removed: normally they are skipped
-// lazily when they reach the top. To bound memory under cancel-heavy loads
-// (periodic timers rescheduled every tick), cancel() eagerly rebuilds the
-// heap once tombstones outnumber half the live entries, so the queue never
-// holds more than ~2x the live event count.
+// Cancelled events are tombstoned, not removed. The sweep that skips
+// tombstones runs inside cancel() and pop(), which maintains the invariant
+// that the heap's top entry is always live — so empty() and next_time() are
+// pure O(1) reads (the sharded scheduler's coordinator polls them between
+// rounds without mutating shard state). To bound memory under cancel-heavy
+// loads (periodic timers rescheduled every tick), cancel() eagerly rebuilds
+// the heap once tombstones outnumber half the live entries, so the queue
+// never holds more than ~2x the live event count.
 #pragma once
 
 #include <cstdint>
@@ -33,15 +36,16 @@ class EventQueue {
   /// Schedule `fn` at absolute time `when` (seconds). Returns a cancellable id.
   EventId schedule(double when, std::function<void()> fn);
 
-  /// Mark an event cancelled; it will be skipped when popped (or swept out
-  /// immediately when tombstones exceed half the heap).
+  /// Mark an event cancelled. The top-of-heap sweep runs eagerly, so the
+  /// queue's observable front is never a cancelled event.
   void cancel(EventId id);
 
-  /// True when no live events remain.
-  [[nodiscard]] bool empty();
+  /// True when no live events remain. O(1), const: the top entry is live by
+  /// invariant, so a non-empty heap always holds at least one live event.
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
 
-  /// Time of the next live event. Requires !empty().
-  [[nodiscard]] double next_time();
+  /// Time of the next live event. Requires !empty(). O(1), const.
+  [[nodiscard]] double next_time() const;
 
   /// Pop and return the next live event's closure, advancing `now` to its
   /// time. Requires !empty().
@@ -51,6 +55,11 @@ class EventQueue {
   /// Pending tombstones (cancelled ids not yet swept). Bounded by
   /// scheduled_count() / 2 + 1 after every cancel().
   [[nodiscard]] std::size_t cancelled_count() const { return cancelled_.size(); }
+  /// O(1) live-event counter: events scheduled and neither popped nor
+  /// cancelled. Exact as long as every cancel() targets a pending event;
+  /// a stale cancel (of an id that already fired) is reconciled at the next
+  /// eager purge. `empty()` does not depend on this counter.
+  [[nodiscard]] std::size_t live_count() const { return live_; }
 
  private:
   struct Entry {
@@ -80,6 +89,7 @@ class EventQueue {
   std::vector<Entry> heap_;
   std::unordered_set<EventId> cancelled_;
   EventId next_id_ = 1;
+  std::size_t live_ = 0;
 };
 
 }  // namespace jacepp::sim

@@ -27,6 +27,14 @@ struct MachineSpec {
   double message_overhead_s = 8e-3;
   double ram_bytes = 512e6;       ///< informational (paper reports RAM)
 
+  /// Lower bound this machine contributes to any wire transfer it is an
+  /// endpoint of — the sharded scheduler's lookahead input (DESIGN.md §12):
+  /// every frame costs at least both endpoints' latency + per-message
+  /// overhead before jitter.
+  [[nodiscard]] double min_wire_cost() const {
+    return latency_s + message_overhead_s;
+  }
+
   [[nodiscard]] static MachineSpec super_peer_class() {
     // P4 2.40 GHz / 512 MB on the faster network.
     return MachineSpec{220e6, 1000e6, 200e-6, 8e-3, 512e6};

@@ -1,18 +1,76 @@
 #include "sim/world.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
 
 #include "support/assert.hpp"
 #include "support/logging.hpp"
+#include "support/thread_pool.hpp"
 
 namespace jacepp::sim {
 
+namespace {
+
+/// Resolved `sim.shards`: the config value if set, else JACEPP_SIM_SHARDS,
+/// else 1 (the classic single-queue scheduler).
+std::size_t resolve_shards(std::size_t configured) {
+  constexpr std::size_t kMaxShards = 4096;
+  if (configured > 0) return std::min(configured, kMaxShards);
+  const char* env = std::getenv("JACEPP_SIM_SHARDS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != nullptr && *end == '\0' && parsed > 0) {
+      return std::min<std::size_t>(parsed, kMaxShards);
+    }
+  }
+  return 1;
+}
+
+/// The executing shard's round-stop flag. request_stop() may be called from
+/// actor code while a round is in flight on several worker threads; the
+/// requesting shard ends its own round at the next event boundary via this
+/// thread-local, while every OTHER shard finishes its round normally —
+/// checking the global stop flag mid-round would make the event count depend
+/// on cross-thread timing.
+thread_local bool* tls_round_stop = nullptr;
+
+struct RoundStopGuard {
+  explicit RoundStopGuard(bool* flag) { tls_round_stop = flag; }
+  ~RoundStopGuard() { tls_round_stop = nullptr; }
+};
+
+void accumulate(NetStats& into, const NetStats& from) {
+  into.sent += from.sent;
+  into.delivered += from.delivered;
+  into.lost_down += from.lost_down;
+  into.lost_stale += from.lost_stale;
+  into.bytes_sent += from.bytes_sent;
+  into.corrupt_frames += from.corrupt_frames;
+  into.frames_on_wire += from.frames_on_wire;
+  into.cross_shard_frames += from.cross_shard_frames;
+  for (const auto& [type, count] : from.sent_by_type) {
+    into.sent_by_type[type] += count;
+  }
+  for (const auto& [type, count] : from.delivered_by_type) {
+    into.delivered_by_type[type] += count;
+  }
+}
+
+}  // namespace
+
 /// Per-node Env implementation; all side effects route back into the world.
+/// Every method runs on the node's shard (events for a node live in its
+/// shard's queue), so it may touch the shard and the node freely but nothing
+/// owned by another shard.
 class SimWorld::NodeEnv : public net::Env {
  public:
-  NodeEnv(SimWorld* world, net::NodeId id) : world_(world), id_(id) {}
+  NodeEnv(SimWorld* world, net::NodeId id, Shard* shard)
+      : world_(world), id_(id), shard_(shard) {}
 
-  [[nodiscard]] double now() const override { return world_->now_; }
+  [[nodiscard]] double now() const override { return shard_->now; }
 
   [[nodiscard]] net::Stub self() const override {
     return world_->node_ref(id_).stub;
@@ -25,10 +83,10 @@ class SimWorld::NodeEnv : public net::Env {
   net::TimerId schedule(double delay, std::function<void()> fn) override {
     Node& node = world_->node_ref(id_);
     return world_->schedule_guarded(id_, node.stub.incarnation,
-                                    world_->now_ + delay, std::move(fn));
+                                    shard_->now + delay, std::move(fn));
   }
 
-  void cancel(net::TimerId timer) override { world_->queue_.cancel(timer); }
+  void cancel(net::TimerId timer) override { shard_->queue.cancel(timer); }
 
   void compute(std::function<double()> work, std::function<void()> done) override {
     Node& node = world_->node_ref(id_);
@@ -41,7 +99,7 @@ class SimWorld::NodeEnv : public net::Env {
     double duration = flops / node.spec.flops_per_sec;
     const double j = world_->config_.compute_jitter;
     if (j > 0.0) duration *= node.rng.uniform(1.0 - j, 1.0 + j);
-    const double start = std::max(world_->now_, node.busy_until);
+    const double start = std::max(shard_->now, node.busy_until);
     node.busy_until = start + duration;
     world_->schedule_guarded(id_, node.stub.incarnation, node.busy_until,
                              std::move(done));
@@ -59,9 +117,33 @@ class SimWorld::NodeEnv : public net::Env {
  private:
   SimWorld* world_;
   net::NodeId id_;
+  Shard* shard_;
 };
 
-SimWorld::SimWorld(SimConfig config) : config_(config), rng_(config.seed) {}
+SimWorld::SimWorld(SimConfig config) : config_(config), rng_(config.seed) {
+  config_.shards = resolve_shards(config_.shards);
+  const std::size_t n = config_.shards;
+  shards_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    auto shard = std::make_unique<Shard>();
+    if (n == 1) {
+      // Classic mode: shard 0 *is* the old scheduler — the world rng drives
+      // message jitter (interleaving with harness draws exactly as before)
+      // and counters land directly in stats_.
+      shard->link_rng = &rng_;
+      shard->stats = &stats_;
+    } else {
+      // Per-shard jitter stream: a pure function of (seed, shard index),
+      // never of rng_'s mutable state — replay must not depend on how many
+      // draws the harness or other shards made.
+      shard->rng = Rng(mix64(config_.seed ^
+                             (0x9E3779B97F4A7C15ull * (s + 1))));
+      shard->link_rng = &shard->rng;
+      shard->stats = &shard->local;
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
 
 SimWorld::~SimWorld() = default;
 
@@ -88,11 +170,13 @@ net::Stub SimWorld::add_node(std::unique_ptr<net::Actor> actor,
   const net::NodeId id = next_node_++;
   Node node;
   node.actor = std::move(actor);
-  node.env = std::make_unique<NodeEnv>(this, id);
   node.spec = spec;
   node.stub = net::Stub{id, 1, kind};
   node.up = true;
   node.rng = rng_.split(id);
+  node.shard = shard_of(id, shards_.size());
+  node.env = std::make_unique<NodeEnv>(this, id, shards_[node.shard].get());
+  min_wire_cost_ = std::min(min_wire_cost_, spec.min_wire_cost());
   auto [it, inserted] = nodes_.emplace(id, std::move(node));
   JACEPP_ASSERT(inserted);
   Node& ref = it->second;
@@ -109,8 +193,9 @@ void SimWorld::disconnect(net::NodeId node_id) {
   it->second.up = false;
   // Outbound link queues die with the sender: a crashed node emits nothing,
   // and a revived incarnation starts with empty queues.
-  for (auto link_it = links_.begin(); link_it != links_.end();) {
-    link_it = link_it->first.from == node_id ? links_.erase(link_it)
+  auto& links = shards_[it->second.shard]->links;
+  for (auto link_it = links.begin(); link_it != links.end();) {
+    link_it = link_it->first.from == node_id ? links.erase(link_it)
                                              : std::next(link_it);
   }
   JACEPP_LOG(Debug, "sim", "node %llu disconnected at %.3f",
@@ -162,23 +247,76 @@ std::size_t SimWorld::live_node_count() const {
 
 EventId SimWorld::schedule_guarded(net::NodeId id, net::Incarnation inc,
                                    double when, std::function<void()> fn) {
-  return queue_.schedule(when, [this, id, inc, fn = std::move(fn)] {
+  return shard_for(id).queue.schedule(when, [this, id, inc, fn = std::move(fn)] {
     if (alive_at(id, inc)) fn();
   });
 }
 
 EventId SimWorld::schedule_global(double delay, std::function<void()> fn) {
-  return queue_.schedule(now_ + delay, std::move(fn));
+  // Classic mode keeps harness events in shard 0's queue so event-id
+  // tie-breaking is bit-identical to the single-queue scheduler they shared.
+  EventQueue& q = shards_.size() > 1 ? global_queue_ : shards_[0]->queue;
+  return q.schedule(now_ + delay, std::move(fn));
 }
 
-double SimWorld::transfer_delay(const Node& from, const Node& to,
-                                std::size_t bytes) {
-  const double latency = from.spec.latency_s + to.spec.latency_s +
-                         from.spec.message_overhead_s + to.spec.message_overhead_s;
-  const double bandwidth = std::min(from.spec.bandwidth_bps, to.spec.bandwidth_bps);
+void SimWorld::cancel_global(EventId id) {
+  EventQueue& q = shards_.size() > 1 ? global_queue_ : shards_[0]->queue;
+  q.cancel(id);
+}
+
+void SimWorld::request_stop() {
+  stopped_.store(true, std::memory_order_relaxed);
+  if (tls_round_stop != nullptr) *tls_round_stop = true;
+}
+
+void SimWorld::clear_stop() {
+  stopped_.store(false, std::memory_order_relaxed);
+  for (auto& shard : shards_) shard->stop_round = false;
+}
+
+NetStats& SimWorld::stats() {
+  aggregate_stats();
+  return stats_;
+}
+
+const NetStats& SimWorld::stats() const {
+  aggregate_stats();
+  return stats_;
+}
+
+void SimWorld::aggregate_stats() const {
+  if (shards_.size() <= 1) return;  // stats_ is the live accumulator
+  NetStats total;
+  for (const auto& shard : shards_) accumulate(total, shard->local);
+  stats_ = std::move(total);
+}
+
+std::uint64_t SimWorld::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->executed;
+  return total;
+}
+
+double SimWorld::lookahead() const {
+  if (!std::isfinite(min_wire_cost_)) return 0.0;
+  // Any wire transfer costs at least (1 - jitter) times the two endpoints'
+  // latency + per-message overhead, each bounded below by min_wire_cost_.
+  // The 0.999 shave absorbs floating-point rounding in transfer_delay's
+  // sum/multiply so a frame can never arrive strictly inside the horizon
+  // that was open when it was sent.
+  const double j = std::min(config_.message_jitter, 1.0);
+  const double la = 0.999 * (1.0 - j) * 2.0 * min_wire_cost_;
+  return la > 0.0 ? la : 0.0;
+}
+
+double SimWorld::transfer_delay(const Node& from, const MachineSpec& to_spec,
+                                std::size_t bytes, Rng& rng) {
+  const double latency = from.spec.latency_s + to_spec.latency_s +
+                         from.spec.message_overhead_s + to_spec.message_overhead_s;
+  const double bandwidth = std::min(from.spec.bandwidth_bps, to_spec.bandwidth_bps);
   double delay = latency + static_cast<double>(bytes) * 8.0 / bandwidth;
   const double j = config_.message_jitter;
-  if (j > 0.0) delay *= rng_.uniform(1.0 - j, 1.0 + j);
+  if (j > 0.0) delay *= rng.uniform(1.0 - j, 1.0 + j);
   return delay;
 }
 
@@ -187,23 +325,25 @@ void SimWorld::send_from(net::NodeId from_id, const net::Stub& to,
   Node& from = node_ref(from_id);
   if (!from.up) return;  // a crashed sender emits nothing
   message.from = from.stub;
+  Shard& sh = *shards_[from.shard];
 
-  ++stats_.sent;
-  ++stats_.sent_by_type[message.type];
+  ++sh.stats->sent;
+  ++sh.stats->sent_by_type[message.type];
 
   if (!link_layer_active()) {
     transmit_wire(from_id, to, std::move(message), nullptr);
     return;
   }
   auto [it, inserted] =
-      links_.try_emplace(LinkKey{from_id, to.node}, &config_.link, &comm_stats_);
+      sh.links.try_emplace(LinkKey{from_id, to.node}, &config_.link, &comm_stats_);
   it->second.link.enqueue(std::move(message), to);
   pump_link(from_id, to.node);
 }
 
 void SimWorld::pump_link(net::NodeId from_id, net::NodeId to_node) {
-  auto it = links_.find(LinkKey{from_id, to_node});
-  if (it == links_.end()) return;
+  Shard& sh = shard_for(from_id);
+  auto it = sh.links.find(LinkKey{from_id, to_node});
+  if (it == sh.links.end()) return;
   LinkState& ls = it->second;
   auto from_it = nodes_.find(from_id);
   // A crashed sender's queues die with it (disconnect() erases them; this
@@ -212,16 +352,17 @@ void SimWorld::pump_link(net::NodeId from_id, net::NodeId to_node) {
 
   while (!(config_.serialize_links && ls.busy)) {
     if (ls.link.empty()) break;
-    if (now_ < ls.next_flush) {
+    if (sh.now < ls.next_flush) {
       // Nagle-style accumulation: the first send after an idle period left
       // immediately and opened a window; everything arriving inside it
       // coalesces/batches until the flush event fires.
       if (!ls.flush_armed) {
         ls.flush_armed = true;
         const LinkKey key{from_id, to_node};
-        queue_.schedule(ls.next_flush, [this, key] {
-          auto it2 = links_.find(key);
-          if (it2 == links_.end()) return;
+        sh.queue.schedule(ls.next_flush, [this, key] {
+          Shard& s2 = shard_for(key.from);
+          auto it2 = s2.links.find(key);
+          if (it2 == s2.links.end()) return;
           it2->second.flush_armed = false;
           pump_link(key.from, key.to);
         });
@@ -232,98 +373,285 @@ void SimWorld::pump_link(net::NodeId from_id, net::NodeId to_node) {
     if (!frame) break;
     transmit_wire(from_id, frame->to, std::move(frame->message), &ls);
     if (ls.link.empty() && config_.link.flush_window > 0.0) {
-      ls.next_flush = now_ + config_.link.flush_window;
+      ls.next_flush = sh.now + config_.link.flush_window;
     }
   }
 }
 
-double SimWorld::occupancy_delay(const Node& from, const Node& to,
+double SimWorld::occupancy_delay(const Node& from, const MachineSpec& to_spec,
                                  std::size_t bytes) {
   // Sender-side wire occupancy: software overhead plus serialization onto
   // the slower NIC. Deterministic (no jitter), so frame ordering on a link
   // is stable across runs regardless of the jitter draws on delivery.
-  const double bandwidth = std::min(from.spec.bandwidth_bps, to.spec.bandwidth_bps);
+  const double bandwidth = std::min(from.spec.bandwidth_bps, to_spec.bandwidth_bps);
   return from.spec.message_overhead_s + static_cast<double>(bytes) * 8.0 / bandwidth;
 }
 
 void SimWorld::transmit_wire(net::NodeId from_id, const net::Stub& to,
                              net::Message message, LinkState* ls) {
   Node& from = node_ref(from_id);
-  stats_.bytes_sent += message.wire_size();
+  Shard& sh = *shards_[from.shard];
+  sh.stats->bytes_sent += message.wire_size();
+  ++sh.stats->frames_on_wire;
 
   auto dest_it = nodes_.find(to.node);
-  if (dest_it == nodes_.end() || !dest_it->second.up) {
-    ++stats_.lost_down;
+  if (dest_it == nodes_.end()) {
+    ++sh.stats->lost_down;
+    return;
+  }
+  Node& dest = dest_it->second;
+
+  if (dest.shard != from.shard) {
+    // Cross-shard: the sender may only read the destination's immutable
+    // fields (spec, shard). Liveness and incarnation resolve at *arrival*
+    // on the destination shard — deliver_cross — which also means sender-side
+    // wire occupancy is charged whether or not the destination turns out to
+    // be up (a NIC does not know its peer died).
+    if (ls != nullptr && config_.serialize_links) {
+      ls->busy = true;
+      const double occupancy = occupancy_delay(from, dest.spec, message.wire_size());
+      const LinkKey key{from_id, to.node};
+      sh.queue.schedule(sh.now + occupancy, [this, key] {
+        Shard& s2 = shard_for(key.from);
+        auto it = s2.links.find(key);
+        if (it == s2.links.end()) return;
+        it->second.busy = false;
+        pump_link(key.from, key.to);
+      });
+    }
+    const double delay =
+        transfer_delay(from, dest.spec, message.wire_size(), *sh.link_rng);
+    ++sh.stats->cross_shard_frames;
+    sh.outbox.push_back(
+        CrossFrame{sh.now + delay, to, std::move(message), &dest, dest.shard});
+    return;
+  }
+
+  // Same-shard (and the whole world when shards == 1): the classic path,
+  // checks at send time, bit-identical draw and event-id order.
+  if (!dest.up) {
+    ++sh.stats->lost_down;
     return;
   }
   // Incarnation 0 is an "address stub" (the bootstrap IP-address analogue):
   // it matches whatever incarnation currently lives at the node.
-  if (to.incarnation != 0 &&
-      dest_it->second.stub.incarnation != to.incarnation) {
-    ++stats_.lost_stale;
+  if (to.incarnation != 0 && dest.stub.incarnation != to.incarnation) {
+    ++sh.stats->lost_stale;
     return;
   }
 
   if (ls != nullptr && config_.serialize_links) {
     ls->busy = true;
-    const double occupancy =
-        occupancy_delay(from, dest_it->second, message.wire_size());
+    const double occupancy = occupancy_delay(from, dest.spec, message.wire_size());
     const LinkKey key{from_id, to.node};
-    queue_.schedule(now_ + occupancy, [this, key] {
-      auto it = links_.find(key);
-      if (it == links_.end()) return;
+    sh.queue.schedule(sh.now + occupancy, [this, key] {
+      Shard& s2 = shard_for(key.from);
+      auto it = s2.links.find(key);
+      if (it == s2.links.end()) return;
       it->second.busy = false;
       pump_link(key.from, key.to);
     });
   }
 
-  const double delay = transfer_delay(from, dest_it->second, message.wire_size());
+  const double delay =
+      transfer_delay(from, dest.spec, message.wire_size(), *sh.link_rng);
   const net::NodeId dest_id = to.node;
-  const net::Incarnation dest_inc = dest_it->second.stub.incarnation;
+  const net::Incarnation dest_inc = dest.stub.incarnation;
   // Deliver only if the destination is still the same live incarnation when
   // the bits arrive; otherwise the message is lost in flight.
-  queue_.schedule(now_ + delay, [this, dest_id, dest_inc,
-                                 msg = std::move(message)]() mutable {
-    if (!alive_at(dest_id, dest_inc)) {
-      ++stats_.lost_down;
-      return;
-    }
-    ++stats_.delivered;
-    Node& dest = node_ref(dest_id);
-    if (msg.type == net::kBatchMessageType) {
-      std::vector<net::Message> parts;
-      if (!net::unpack_batch(msg, parts)) {
-        ++stats_.corrupt_frames;
-        return;
-      }
-      for (net::Message& part : parts) {
-        // An earlier sub-message may have shut the actor down mid-batch.
-        if (!alive_at(dest_id, dest_inc)) break;
-        ++stats_.delivered_by_type[part.type];
-        dest.actor->on_message(part, *dest.env);
-      }
-    } else {
-      ++stats_.delivered_by_type[msg.type];
-      dest.actor->on_message(msg, *dest.env);
-    }
-  });
+  sh.queue.schedule(sh.now + delay,
+                    [this, dest_id, dest_inc, msg = std::move(message)]() mutable {
+                      deliver_wire(dest_id, dest_inc, std::move(msg));
+                    });
 }
 
+void SimWorld::deliver_wire(net::NodeId dest_id, net::Incarnation dest_inc,
+                            net::Message msg) {
+  auto it = nodes_.find(dest_id);
+  if (it == nodes_.end()) return;  // unreachable: nodes are never erased
+  Node& dest = it->second;
+  Shard& sh = *shards_[dest.shard];
+  if (!dest.up || dest.stub.incarnation != dest_inc) {
+    ++sh.stats->lost_down;  // lost in flight, same as the classic alive_at drop
+    return;
+  }
+  deliver_body(dest, sh, dest_id, dest_inc, std::move(msg));
+}
+
+void SimWorld::deliver_body(Node& dest, Shard& sh, net::NodeId dest_id,
+                            net::Incarnation dest_inc, net::Message msg) {
+  ++sh.stats->delivered;
+  if (msg.type == net::kBatchMessageType) {
+    std::vector<net::Message> parts;
+    if (!net::unpack_batch(msg, parts)) {
+      ++sh.stats->corrupt_frames;
+      return;
+    }
+    for (net::Message& part : parts) {
+      // An earlier sub-message may have shut the actor down mid-batch.
+      if (!alive_at(dest_id, dest_inc)) break;
+      ++sh.stats->delivered_by_type[part.type];
+      dest.actor->on_message(part, *dest.env);
+    }
+  } else {
+    ++sh.stats->delivered_by_type[msg.type];
+    dest.actor->on_message(msg, *dest.env);
+  }
+}
+
+void SimWorld::deliver_cross(Node& dest, const net::Stub& to, net::Message msg) {
+  // Runs on the destination shard: resolve the checks the sender deferred.
+  Shard& sh = *shards_[dest.shard];
+  if (!dest.up) {
+    ++sh.stats->lost_down;
+    return;
+  }
+  if (to.incarnation != 0 && dest.stub.incarnation != to.incarnation) {
+    ++sh.stats->lost_stale;
+    return;
+  }
+  deliver_body(dest, sh, to.node, dest.stub.incarnation, std::move(msg));
+}
+
+// --- schedulers --------------------------------------------------------------
+
 void SimWorld::run() {
-  while (!stopped_ && !queue_.empty()) {
-    if (queue_.next_time() > config_.max_time) break;
-    auto fn = queue_.pop(&now_);
+  if (shards_.size() > 1) {
+    run_rounds(config_.max_time);
+    return;
+  }
+  Shard& sh = *shards_[0];
+  while (!stopped_.load(std::memory_order_relaxed) && !sh.queue.empty()) {
+    if (sh.queue.next_time() > config_.max_time) break;
+    auto fn = sh.queue.pop(&sh.now);
+    now_ = sh.now;
+    ++sh.executed;
     fn();
   }
 }
 
 bool SimWorld::run_until(double t) {
-  while (!stopped_ && !queue_.empty() && queue_.next_time() <= t) {
-    auto fn = queue_.pop(&now_);
+  if (shards_.size() > 1) {
+    run_rounds(t);
+    if (!stopped_.load(std::memory_order_relaxed) && now_ < t) now_ = t;
+    return stopped_.load(std::memory_order_relaxed);
+  }
+  Shard& sh = *shards_[0];
+  while (!stopped_.load(std::memory_order_relaxed) && !sh.queue.empty() &&
+         sh.queue.next_time() <= t) {
+    auto fn = sh.queue.pop(&sh.now);
+    now_ = sh.now;
+    ++sh.executed;
     fn();
   }
-  if (!stopped_ && now_ < t) now_ = t;
-  return stopped_;
+  if (!stopped_.load(std::memory_order_relaxed) && now_ < t) {
+    now_ = t;
+    sh.now = t;
+  }
+  return stopped_.load(std::memory_order_relaxed);
+}
+
+ThreadPool& SimWorld::round_pool() {
+  if (!pool_) {
+    std::size_t lanes = config_.worker_threads;
+    const bool force = lanes > 0;
+    if (lanes == 0) {
+      const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+      lanes = std::min(shards_.size(), hw);
+    }
+    // The world owns its pool rather than sharing compute_pool(): actor
+    // numerics run through compute_pool and their chunking (JACEPP_THREADS)
+    // must stay independent of how many lanes drive shard rounds, or
+    // "bit-identical across worker-thread counts" would be false.
+    pool_ = std::make_unique<ThreadPool>(lanes, force);
+  }
+  return *pool_;
+}
+
+void SimWorld::run_rounds(double until) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Events at exactly `until` still run (the classic loop's `next > max_time`
+  // break has the same inclusive boundary).
+  const double cap = std::nextafter(until, kInf);
+  while (!stopped_.load(std::memory_order_relaxed)) {
+    const double t_global = global_queue_.empty() ? kInf : global_queue_.next_time();
+    double t_shard = kInf;
+    for (const auto& shard : shards_) {
+      if (!shard->queue.empty()) {
+        t_shard = std::min(t_shard, shard->queue.next_time());
+      }
+    }
+    const double t_min = std::min(t_global, t_shard);
+    if (t_min == kInf || t_min > until) break;
+
+    if (t_global <= t_shard) {
+      // Harness events run single-threaded at the barrier, *before* any
+      // shard event with an equal timestamp — they may mutate global state
+      // (disconnect/revive/add_node) that the next round then observes.
+      now_ = t_global;
+      auto fn = global_queue_.pop(&now_);
+      fn();
+      continue;
+    }
+
+    // Conservative horizon: every cross-shard frame sent at time t arrives
+    // no earlier than t + lookahead >= t_min + lookahead, so events strictly
+    // below the horizon cannot be affected by frames still unsent on other
+    // shards. Zero lookahead (no nodes / degenerate specs / jitter >= 1)
+    // degrades to lock-step rounds of the earliest timestamp only.
+    const double la = lookahead();
+    double horizon = la > 0.0 ? t_min + la : std::nextafter(t_min, kInf);
+    horizon = std::min(horizon, std::min(t_global, cap));
+    run_round(horizon);
+    merge_outboxes();
+    ++rounds_;
+  }
+  for (const auto& shard : shards_) now_ = std::max(now_, shard->now);
+}
+
+void SimWorld::run_round(double horizon) {
+  // One chunk per shard; shards touch disjoint state, so which lane runs a
+  // shard never matters — only the per-shard event order does.
+  round_pool().parallel_for(
+      0, shards_.size(), 1, [this, horizon](std::size_t lo, std::size_t hi) {
+        for (std::size_t s = lo; s < hi; ++s) {
+          Shard& sh = *shards_[s];
+          RoundStopGuard guard(&sh.stop_round);
+          while (!sh.stop_round && !sh.queue.empty() &&
+                 sh.queue.next_time() < horizon) {
+            auto fn = sh.queue.pop(&sh.now);
+            ++sh.executed;
+            fn();
+          }
+        }
+      });
+}
+
+void SimWorld::merge_outboxes() {
+  // Deterministic (time, shard, seq) merge: concatenate outboxes in shard
+  // order (each is already in send order) and stable-sort by arrival time, so
+  // destination event-ids — the tie-breakers inside each queue — depend only
+  // on the frames, never on worker-thread interleaving.
+  merge_scratch_.clear();
+  for (auto& shard : shards_) {
+    for (CrossFrame& frame : shard->outbox) merge_scratch_.push_back(&frame);
+  }
+  std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(),
+                   [](const CrossFrame* a, const CrossFrame* b) {
+                     return a->arrival < b->arrival;
+                   });
+  for (CrossFrame* frame : merge_scratch_) {
+    Shard& dest_shard = *shards_[frame->dest_shard];
+    // Node pointers are stable (nodes_ never erases), so the arrival event
+    // can skip the id lookup entirely.
+    dest_shard.queue.schedule(frame->arrival,
+                              [this, dest = frame->dest, to = frame->to,
+                               msg = std::move(frame->message)]() mutable {
+                                deliver_cross(*dest, to, std::move(msg));
+                              });
+  }
+  merge_scratch_.clear();
+  for (auto& shard : shards_) shard->outbox.clear();
 }
 
 }  // namespace jacepp::sim

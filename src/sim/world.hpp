@@ -13,11 +13,27 @@
 //     compute units on a node serialize while message handling continues
 //     (modelling JaceP2P's communication/computation overlap).
 //
+// Execution (DESIGN.md §12): the world is split into `sim.shards` logical
+// partitions — nodes map to shards by a stable hash of their NodeId — each
+// owning its own EventQueue, jitter Rng stream, NetStats accumulator and
+// outbound link queues. shards == 1 (the default) runs the classic
+// single-queue scheduler and is bit-identical to the pre-shard implementation.
+// shards >= 2 runs a conservative parallel protocol: every round the
+// coordinator computes the global earliest event time and a lookahead (the
+// lower bound on any cross-shard frame's flight time, derived from the
+// MachineSpecs and the jitter config), shards execute their events below
+// `t_min + lookahead` concurrently on a worker pool, and cross-shard frames
+// are exchanged through per-shard outboxes merged in deterministic
+// (time, shard, seq) order at the round barrier.
+//
 // Determinism: one seed drives every random draw, and simultaneous events fire
-// in insertion order, so a (seed, scenario) pair replays bit-for-bit.
+// in insertion order, so a (seed, scenario, shards) triple replays
+// bit-for-bit — independent of the worker-thread count driving the rounds.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +46,10 @@
 #include "sim/machine.hpp"
 #include "support/rng.hpp"
 
+namespace jacepp {
+class ThreadPool;
+}
+
 namespace jacepp::sim {
 
 struct NetStats {
@@ -39,6 +59,10 @@ struct NetStats {
   std::uint64_t lost_stale = 0;   ///< destination incarnation outdated
   std::uint64_t bytes_sent = 0;   ///< wire bytes (post coalescing/batching)
   std::uint64_t corrupt_frames = 0;  ///< Batch envelopes failing CRC/framing
+  std::uint64_t frames_on_wire = 0;  ///< frames put on the wire (pre delivery)
+  /// Frames whose endpoints live on different shards, routed through the
+  /// round-barrier mailboxes. Always 0 with shards == 1.
+  std::uint64_t cross_shard_frames = 0;
   std::unordered_map<net::MessageType, std::uint64_t> sent_by_type;
   /// Actor-level messages delivered (Batch sub-messages counted one by one).
   std::unordered_map<net::MessageType, std::uint64_t> delivered_by_type;
@@ -60,6 +84,52 @@ struct SimConfig {
   /// elapses. Makes slow-consumer backlogs — and what coalescing saves — show
   /// up in delivered-message counts instead of just queue lengths.
   bool serialize_links = false;
+  /// Logical world partitions (`sim.shards`). 0 resolves the
+  /// JACEPP_SIM_SHARDS environment variable (clamped to [1, 4096]), absent or
+  /// invalid falling back to 1. 1 is the classic single-queue scheduler,
+  /// bit-identical to the pre-shard implementation.
+  std::size_t shards = 0;
+  /// Worker threads driving shard rounds. 0 sizes the pool automatically
+  /// (min(shards, hardware threads)); an explicit value forces that many
+  /// lanes even on fewer cores (determinism tests exercise thread-count
+  /// independence this way). Never affects results — only wall time.
+  std::size_t worker_threads = 0;
+};
+
+/// Directed link identity (sender, receiver), used as a hash key for the
+/// per-shard outbound link queues.
+struct LinkKey {
+  net::NodeId from = 0;
+  net::NodeId to = 0;
+  bool operator==(const LinkKey& other) const {
+    return from == other.from && to == other.to;
+  }
+};
+
+/// SplitMix64 finalizer: a full-avalanche 64-bit mix, stable across platforms
+/// (pure integer arithmetic — the shard assignment below must replay).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Two-step hash combine over (from, to). The previous implementation hashed
+/// `from * C ^ to` — `to` entered unmixed, so with libstdc++'s identity
+/// std::hash the low bits of `to` mapped straight onto bucket indices and
+/// dense all-to-all worlds clustered. Each id is now avalanched before it is
+/// folded in (boost::hash_combine shape, 64-bit constants);
+/// tests/sim/test_world.cpp checks the collision distribution.
+struct LinkKeyHash {
+  std::size_t operator()(const LinkKey& k) const {
+    std::uint64_t h = mix64(k.from + 0x9E3779B97F4A7C15ull);
+    h ^= mix64(k.to + 0x9E3779B97F4A7C15ull) + 0x9E3779B97F4A7C15ull +
+         (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(mix64(h));
+  }
 };
 
 class SimWorld {
@@ -99,21 +169,31 @@ class SimWorld {
   void run();
   /// Run at most until absolute time `t`; returns true if stop was requested.
   bool run_until(double t);
-  void request_stop() { stopped_ = true; }
+  /// Stop at the next event boundary (classic) or round boundary (sharded;
+  /// the requesting shard additionally ends its round early). Safe to call
+  /// from actor code on any shard.
+  void request_stop();
   /// Re-arm a stopped world so a harness can keep simulating past the point
   /// where a completion callback requested the stop.
-  void clear_stop() { stopped_ = false; }
-  [[nodiscard]] bool stop_requested() const { return stopped_; }
+  void clear_stop();
+  [[nodiscard]] bool stop_requested() const {
+    return stopped_.load(std::memory_order_relaxed);
+  }
 
   [[nodiscard]] double now() const { return now_; }
 
-  /// Harness-level event not tied to any node's liveness.
+  /// Harness-level event not tied to any node's liveness. With shards >= 2
+  /// these run single-threaded at round barriers, before any shard event with
+  /// an equal or later timestamp — they may safely touch any node.
   EventId schedule_global(double delay, std::function<void()> fn);
-  void cancel_global(EventId id) { queue_.cancel(id); }
+  void cancel_global(EventId id);
 
   Rng& rng() { return rng_; }
-  NetStats& stats() { return stats_; }
-  const NetStats& stats() const { return stats_; }
+  /// Aggregated network counters. With shards >= 2 this folds the per-shard
+  /// accumulators into one snapshot on every call; treat the reference as
+  /// read-only between calls.
+  NetStats& stats();
+  const NetStats& stats() const;
   net::CommStats& comm_stats() { return comm_stats_; }
   const net::CommStats& comm_stats() const { return comm_stats_; }
 
@@ -123,8 +203,28 @@ class SimWorld {
     return config_.serialize_links || config_.link.flush_window > 0.0;
   }
 
+  // --- sharded-scheduler introspection (bench_scale, contract tests) ---
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  /// Stable shard assignment: pure function of (id, shard_count), identical
+  /// across runs, platforms and worker-thread counts.
+  [[nodiscard]] static std::uint32_t shard_of(net::NodeId id,
+                                              std::size_t shard_count) {
+    return shard_count <= 1
+               ? 0u
+               : static_cast<std::uint32_t>(mix64(id) % shard_count);
+  }
+  /// Current conservative lookahead (seconds): the lower bound on any
+  /// cross-shard frame's flight time. 0 when no node has been added yet (the
+  /// round loop then degrades to lock-step rounds).
+  [[nodiscard]] double lookahead() const;
+  /// Events executed so far, summed over shards (and the classic loop).
+  [[nodiscard]] std::uint64_t events_executed() const;
+  /// Parallel rounds completed (0 in classic mode).
+  [[nodiscard]] std::uint64_t rounds_executed() const { return rounds_; }
+
  private:
   class NodeEnv;
+  struct Shard;
 
   struct Node {
     std::unique_ptr<net::Actor> actor;
@@ -134,33 +234,9 @@ class SimWorld {
     bool up = false;
     double busy_until = 0.0;
     Rng rng{0};
+    std::uint32_t shard = 0;
   };
 
-  Node& node_ref(net::NodeId id);
-  const Node& node_ref(net::NodeId id) const;
-  [[nodiscard]] bool alive_at(net::NodeId id, net::Incarnation inc) const;
-
-  /// Schedule an event that only fires if (node, inc) is still the live
-  /// incarnation at fire time.
-  EventId schedule_guarded(net::NodeId id, net::Incarnation inc, double when,
-                           std::function<void()> fn);
-
-  void send_from(net::NodeId from, const net::Stub& to, net::Message message);
-  double transfer_delay(const Node& from, const Node& to, std::size_t bytes);
-
-  // --- staleness-aware link layer (net/link.hpp) ---
-  struct LinkKey {
-    net::NodeId from = 0;
-    net::NodeId to = 0;
-    bool operator==(const LinkKey& other) const {
-      return from == other.from && to == other.to;
-    }
-  };
-  struct LinkKeyHash {
-    std::size_t operator()(const LinkKey& k) const {
-      return std::hash<net::NodeId>{}(k.from * 0x9E3779B97F4A7C15ull ^ k.to);
-    }
-  };
   struct LinkState {
     net::Link link;
     bool busy = false;          ///< a frame occupies the wire (serialize_links)
@@ -170,25 +246,91 @@ class SimWorld {
         : link(config, stats) {}
   };
 
+  /// A cross-shard wire frame parked in its sender's outbox until the round
+  /// barrier. Liveness/incarnation checks happen at arrival on the
+  /// destination shard (the sender must not read another shard's state).
+  struct CrossFrame {
+    double arrival = 0.0;
+    net::Stub to;
+    net::Message message;
+    Node* dest = nullptr;  ///< stable: nodes_ never erases
+    std::uint32_t dest_shard = 0;
+  };
+
+  /// One world partition: everything a round executes without touching
+  /// another shard's mutable state.
+  struct Shard {
+    EventQueue queue;
+    double now = 0.0;
+    Rng rng{0};                 ///< per-shard jitter stream (shards >= 2)
+    Rng* link_rng = nullptr;    ///< &world.rng_ classic, &rng sharded
+    NetStats local;             ///< per-shard counters (shards >= 2)
+    NetStats* stats = nullptr;  ///< &world.stats_ classic, &local sharded
+    std::unordered_map<LinkKey, LinkState, LinkKeyHash> links;
+    std::vector<CrossFrame> outbox;
+    std::uint64_t executed = 0;
+    bool stop_round = false;    ///< set by request_stop() on this shard
+  };
+
+  Node& node_ref(net::NodeId id);
+  const Node& node_ref(net::NodeId id) const;
+  [[nodiscard]] bool alive_at(net::NodeId id, net::Incarnation inc) const;
+  Shard& shard_for(net::NodeId id) { return *shards_[node_ref(id).shard]; }
+
+  /// Schedule an event that only fires if (node, inc) is still the live
+  /// incarnation at fire time.
+  EventId schedule_guarded(net::NodeId id, net::Incarnation inc, double when,
+                           std::function<void()> fn);
+
+  void send_from(net::NodeId from, const net::Stub& to, net::Message message);
+  double transfer_delay(const Node& from, const MachineSpec& to_spec,
+                        std::size_t bytes, Rng& rng);
+
   /// Transmit queued frames of (from, to) subject to the flush window and,
   /// with serialize_links, one-frame-in-flight occupancy.
   void pump_link(net::NodeId from, net::NodeId to);
-  /// Put one frame on the wire: liveness/incarnation checks, transfer delay,
-  /// delivery scheduling (Batch envelopes unpack at the destination). `ls` is
-  /// non-null when the frame came off a link queue (occupancy accounting).
+  /// Put one frame on the wire: same-shard frames run the classic
+  /// liveness/incarnation checks and schedule local delivery; cross-shard
+  /// frames are parked in the sender's outbox. `ls` is non-null when the
+  /// frame came off a link queue (occupancy accounting).
   void transmit_wire(net::NodeId from, const net::Stub& to,
                      net::Message message, LinkState* ls);
-  double occupancy_delay(const Node& from, const Node& to, std::size_t bytes);
+  double occupancy_delay(const Node& from, const MachineSpec& to_spec,
+                         std::size_t bytes);
+  /// Deliver a frame to (dest, inc): the classic delivery path (lost-in-
+  /// flight check, then deliver_body). Runs on the destination's shard.
+  void deliver_wire(net::NodeId dest, net::Incarnation inc, net::Message msg);
+  /// The shared delivery body: counters, Batch unpack, actor dispatch.
+  void deliver_body(Node& dest, Shard& sh, net::NodeId dest_id,
+                    net::Incarnation dest_inc, net::Message msg);
+  /// Cross-shard arrival: re-resolve liveness/incarnation on the destination
+  /// shard, then deliver.
+  void deliver_cross(Node& dest, const net::Stub& to, net::Message msg);
+
+  // --- conservative round loop (shards >= 2) ---
+  void run_rounds(double until);
+  void run_round(double horizon);
+  void merge_outboxes();
+  ThreadPool& round_pool();
+  /// Fold per-shard counters into stats_ (no-op with shards == 1).
+  void aggregate_stats() const;
 
   SimConfig config_;
   Rng rng_;
-  EventQueue queue_;
   double now_ = 0.0;
-  bool stopped_ = false;
+  std::atomic<bool> stopped_{false};
   net::NodeId next_node_ = 1;
   std::unordered_map<net::NodeId, Node> nodes_;
-  NetStats stats_;
-  std::unordered_map<LinkKey, LinkState, LinkKeyHash> links_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Harness events (shards >= 2 only; classic mode keeps them in shard 0's
+  /// queue so event-id tie-breaks stay bit-identical to the old scheduler).
+  EventQueue global_queue_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<CrossFrame*> merge_scratch_;
+  std::uint64_t rounds_ = 0;
+  /// min over nodes of MachineSpec::min_wire_cost() — lookahead input.
+  double min_wire_cost_ = std::numeric_limits<double>::infinity();
+  mutable NetStats stats_;  ///< classic: the live counters; sharded: aggregate
   net::CommStats comm_stats_;
 };
 

@@ -17,6 +17,12 @@
 // number of threads at once (the rt runtime's per-entity worker threads all
 // share one pool). The calling thread always participates in executing its own
 // chunks, so progress never depends on pool workers being free.
+//
+// The sharded simulator (sim::SimWorld::round_pool(); DESIGN.md §12) owns a
+// SEPARATE ThreadPool instance rather than sharing compute_pool(): shard
+// rounds must replay bit-for-bit for any lane count, while compute kernels
+// are allowed to reassociate across JACEPP_THREADS-sized chunks. Keeping the
+// pools apart means resizing one contract never perturbs the other.
 #pragma once
 
 #include <atomic>

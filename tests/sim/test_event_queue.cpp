@@ -153,5 +153,48 @@ TEST(EventQueue, PurgePreservesOrderAndLiveEvents) {
   EXPECT_EQ(q.cancelled_count(), 0u);
 }
 
+TEST(EventQueue, LiveCountTracksScheduleCancelPop) {
+  EventQueue q;
+  EXPECT_EQ(q.live_count(), 0u);
+  const EventId a = q.schedule(1.0, [] {});
+  const EventId b = q.schedule(2.0, [] {});
+  q.schedule(3.0, [] {});
+  EXPECT_EQ(q.live_count(), 3u);
+  q.cancel(b);
+  EXPECT_EQ(q.live_count(), 2u);
+  q.cancel(b);  // duplicate cancel must not double-decrement
+  EXPECT_EQ(q.live_count(), 2u);
+  double now = 0;
+  q.pop(&now)();
+  EXPECT_EQ(q.live_count(), 1u);
+  q.cancel(a);  // stale cancel of an already-popped id: live events unchanged
+  EXPECT_EQ(q.live_count(), 1u);
+  q.pop(&now)();
+  EXPECT_EQ(q.live_count(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ObserversAreConstAndPure) {
+  // empty()/next_time() must be callable through a const reference and leave
+  // no observable footprint — the sharded coordinator polls every shard queue
+  // between rounds while worker threads are quiescent but unsynchronized
+  // writes would still be a race.
+  EventQueue q;
+  const EventQueue& view = q;
+  EXPECT_TRUE(view.empty());
+  const EventId a = q.schedule(5.0, [] {});
+  q.schedule(1.0, [] {});
+  q.cancel(a);
+  const std::size_t heap_before = view.scheduled_count();
+  const std::size_t tombs_before = view.cancelled_count();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(view.empty());
+    EXPECT_DOUBLE_EQ(view.next_time(), 1.0);
+  }
+  EXPECT_EQ(view.scheduled_count(), heap_before);
+  EXPECT_EQ(view.cancelled_count(), tombs_before);
+  EXPECT_EQ(view.live_count(), 1u);
+}
+
 }  // namespace
 }  // namespace jacepp::sim

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "net/env.hpp"
 #include "rmi/rmi.hpp"
 
@@ -297,6 +300,109 @@ TEST(SimWorld, BiggerMessagesTakeLonger) {
   ASSERT_EQ(rb->receive_times.size(), 2u);
   // The small message, although sent second, must arrive first.
   EXPECT_LT(rb->receive_times[0], rb->receive_times[1]);
+}
+
+TEST(SimWorld, ClearStopReArmsRunUntil) {
+  SimWorld world;
+  std::vector<int> fired;
+  world.schedule_global(1.0, [&] {
+    fired.push_back(1);
+    world.request_stop();
+  });
+  world.schedule_global(2.0, [&] { fired.push_back(2); });
+
+  EXPECT_TRUE(world.run_until(5.0));  // stop requested at t = 1
+  ASSERT_EQ(fired, std::vector<int>({1}));
+  EXPECT_DOUBLE_EQ(world.now(), 1.0);  // clock frozen at the stop event
+  EXPECT_TRUE(world.stop_requested());
+
+  // A stopped world stays stopped: run_until is a no-op until re-armed.
+  EXPECT_TRUE(world.run_until(5.0));
+  ASSERT_EQ(fired, std::vector<int>({1}));
+
+  world.clear_stop();
+  EXPECT_FALSE(world.stop_requested());
+  EXPECT_FALSE(world.run_until(5.0));  // re-armed: drains the rest
+  EXPECT_EQ(fired, std::vector<int>({1, 2}));
+  EXPECT_DOUBLE_EQ(world.now(), 5.0);
+}
+
+TEST(SimWorld, ReviveWhileMessageInFlightDropsOldIncarnationFrame) {
+  // The frame was addressed to a live incarnation-1 stub at send time, but the
+  // destination crashes AND revives (incarnation 2) before the bits arrive.
+  // The in-flight frame belongs to the dead incarnation: the revived actor
+  // must never see it, and it is accounted as lost in flight (lost_down).
+  SimWorld world;
+  auto a = std::make_unique<Recorder>();
+  Recorder* ra = a.get();
+  world.add_node(std::move(a), MachineSpec{}, net::EntityKind::Daemon);
+  const auto stub_b = world.add_node(std::make_unique<Recorder>(), MachineSpec{},
+                                     net::EntityKind::Daemon);
+  Recorder* revived = nullptr;
+  world.schedule_global(0.0, [&] {
+    ra->send_ping(stub_b, 9);          // in flight for >= ~16 ms...
+    world.disconnect(stub_b.node);     // ...dest crashes...
+    auto fresh = std::make_unique<Recorder>();
+    revived = fresh.get();
+    world.revive(stub_b.node, std::move(fresh));  // ...and is back before arrival
+  });
+  world.run();
+  ASSERT_NE(revived, nullptr);
+  EXPECT_TRUE(revived->received.empty());
+  EXPECT_EQ(world.stats().lost_down, 1u);
+  EXPECT_EQ(world.stats().delivered, 0u);
+  // A fresh send to the *old* stub after the revive is a stale drop instead.
+  world.schedule_global(world.now() + 0.001, [&] { ra->send_ping(stub_b, 10); });
+  world.run();
+  EXPECT_TRUE(revived->received.empty());
+  EXPECT_EQ(world.stats().lost_stale, 1u);
+}
+
+// --- LinkKeyHash collision distribution (see the combine in world.hpp) ------
+
+TEST(LinkKeyHash, StructuredIdsDoNotCollapseBuckets) {
+  // Ids whose low bits carry no entropy (here: multiples of 1024) are the
+  // killer for the old `from * C ^ to` combine: `to`'s low bits entered the
+  // bucket index unmixed, so with power-of-two bucket counts every key of a
+  // given sender landed in ONE bucket (load ~ fan-out, here 95). The two-step
+  // combine must keep the max load near the random-hash tail.
+  LinkKeyHash hash;
+  constexpr std::size_t kNodes = 96;
+  constexpr std::size_t kBuckets = 1024;  // power of two, libstdc++-style
+  std::vector<int> load(kBuckets, 0);
+  for (std::size_t f = 1; f <= kNodes; ++f) {
+    for (std::size_t t = 1; t <= kNodes; ++t) {
+      if (f == t) continue;
+      ++load[hash(LinkKey{f << 10, t << 10}) % kBuckets];
+    }
+  }
+  const int max_load = *std::max_element(load.begin(), load.end());
+  // 9120 keys over 1024 buckets: expected load ~8.9; a random hash's max is
+  // ~24 (Poisson tail). 3x expected is a loose, flake-proof ceiling that the
+  // old combine missed by an order of magnitude.
+  EXPECT_LE(max_load, 27);
+}
+
+TEST(LinkKeyHash, DenseAllToAllSpreadsAndStaysInjective) {
+  LinkKeyHash hash;
+  constexpr std::size_t kNodes = 96;
+  constexpr std::size_t kBuckets = 1024;
+  std::vector<int> load(kBuckets, 0);
+  std::unordered_set<std::size_t> distinct;
+  std::size_t keys = 0;
+  for (std::size_t f = 1; f <= kNodes; ++f) {
+    for (std::size_t t = 1; t <= kNodes; ++t) {
+      if (f == t) continue;
+      const std::size_t h = hash(LinkKey{f, t});
+      distinct.insert(h);
+      ++load[h % kBuckets];
+      ++keys;
+    }
+  }
+  EXPECT_EQ(distinct.size(), keys);  // no 64-bit collisions on a dense grid
+  EXPECT_LE(*std::max_element(load.begin(), load.end()), 27);
+  // Direction matters: (a, b) and (b, a) are different links.
+  EXPECT_NE(hash(LinkKey{1, 2}), hash(LinkKey{2, 1}));
 }
 
 }  // namespace
