@@ -3,6 +3,8 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -11,6 +13,7 @@
 #include "linalg/csr_sell.hpp"
 #include "linalg/fused.hpp"
 #include "linalg/simd.hpp"
+#include "core/deadline_heap.hpp"
 #include "core/messages.hpp"
 #include "net/message.hpp"
 #include "poisson/block_task.hpp"
@@ -405,6 +408,72 @@ void BM_BlockingQueueThroughput(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
 }
 BENCHMARK(BM_BlockingQueueThroughput);
+
+// Super-peer failure detection (DESIGN.md §13 satellite): the old per-sweep
+// linear scan over the whole register vs the indexed deadline min-heap
+// (core/deadline_heap.hpp). Timed region = the sweep alone; heartbeat
+// bookkeeping runs untimed between sweeps for both variants (that cost lives
+// on the heartbeat-handler path, where both structures pay an O(log n)-class
+// map update). Workload per sweep: fleet of `n`, 10 crashed daemons to
+// collect — the realistic regime where almost everyone heartbeated in time.
+constexpr std::size_t kSweepCrashed = 10;
+
+void BM_HeartbeatScanLinear(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::map<std::uint64_t, double> last;
+  for (std::size_t i = 0; i < n; ++i) last[i] = 0.0;
+  double now = 0.0;
+  const double timeout = 2.5;
+  std::size_t swept = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    now += 0.5;
+    // Daemons [0, kSweepCrashed) are dead and stop heartbeating; everyone
+    // else refreshed since the last sweep.
+    for (auto& [id, t] : last) {
+      if (id < kSweepCrashed && now > timeout) continue;
+      t = now;
+    }
+    state.ResumeTiming();
+    // The pre-§13 sweep: walk the whole register.
+    for (auto& [id, t] : last) {
+      if (t < now - timeout) {
+        ++swept;
+        t = now;  // re-registers, keeping the fleet at n
+      }
+    }
+  }
+  benchmark::DoNotOptimize(swept);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HeartbeatScanLinear)->Arg(1000)->Arg(10000)->Arg(100000)->Iterations(200);
+
+void BM_HeartbeatScanHeap(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::DeadlineHeap<std::uint64_t> heap;
+  for (std::size_t i = 0; i < n; ++i) heap.bump(i, 0.0);
+  double now = 0.0;
+  const double timeout = 2.5;
+  std::size_t swept = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    now += 0.5;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i < kSweepCrashed && now > timeout) continue;  // dead, no heartbeat
+      heap.bump(i, now);
+    }
+    state.ResumeTiming();
+    heap.expire(now - timeout, [&](std::uint64_t id) {
+      ++swept;
+      heap.bump(id, now);  // re-registers, keeping the fleet at n
+    });
+  }
+  benchmark::DoNotOptimize(swept);
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HeartbeatScanHeap)->Arg(1000)->Arg(10000)->Arg(100000)->Iterations(200);
 
 void BM_RngU64(benchmark::State& state) {
   Rng rng(1);

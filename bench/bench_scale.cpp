@@ -16,14 +16,34 @@
 // completed and matched the shards=1 reference counters. The floor block
 // (best sharded events/sec vs single-queue at the 1k-daemon tier) is
 // evaluated by scripts/bench_guard.sh.
+// The control-plane sweep (DESIGN.md §13) rides in the same binary: daemon
+// fleets of 100/1k/10k (plus 100k in full mode) registering against 1 vs 4
+// super-peers, a probe replaying the spawner's reservation pattern to record
+// sim-time reservation-latency percentiles and the per-super-peer share of
+// reservation traffic, a deployment pair counting convergence-detection
+// messages through the spawner (centralized board vs diffusion wave), and a
+// shard-count determinism gate over the decentralized path. The `cp_floor`
+// JSON block (max reservation share vs 1/N + tolerance, spawner convergence
+// messages vs an O(1) bound) is evaluated by scripts/bench_guard.sh.
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
 #include <vector>
 
+#include "core/daemon.hpp"
+#include "core/deployment.hpp"
+#include "core/messages.hpp"
+#include "core/shard.hpp"
+#include "core/super_peer.hpp"
+#include "core/task.hpp"
 #include "net/env.hpp"
 #include "net/message.hpp"
+#include "rmi/rmi.hpp"
 #include "serial/serial.hpp"
 #include "sim/machine.hpp"
 #include "sim/world.hpp"
@@ -146,6 +166,292 @@ CaseResult run_case(std::size_t daemons, std::size_t shards, double sim_seconds,
   return best;
 }
 
+// ---------------------------------------------------------------------------
+// Control-plane sweep (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  return h * 0x100000001b3ull;
+}
+
+std::uint64_t bits_of(double d) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+/// Replays the spawner's reservation pattern against the super-peer overlay:
+/// one batch request every `gap` simulated seconds, routed the way the
+/// sharded spawner routes (hash of the request id) so no coordinator sees the
+/// full stream. Records the sim-time latency from request to the grant that
+/// completes the batch.
+class ReserveLoadProbe : public net::Actor {
+ public:
+  ReserveLoadProbe(std::vector<net::Stub> sps, std::size_t total,
+                   std::uint32_t batch, double gap, double start_at,
+                   bool sharded)
+      : sps_(std::move(sps)), total_(total), batch_(batch), gap_(gap),
+        start_at_(start_at), sharded_(sharded) {}
+
+  void on_start(net::Env& env) override {
+    env_ = &env;
+    env.schedule(start_at_, [this] { issue(); });
+  }
+
+  void on_message(const net::Message& m, net::Env& env) override {
+    if (m.type != core::msg::ReserveReply::kType) return;
+    const auto reply = net::payload_of<core::msg::ReserveReply>(m);
+    auto& st = pending_[reply.request_id];
+    st.granted += static_cast<std::uint32_t>(reply.daemons.size());
+    if (st.granted >= batch_ && st.completed_at < 0.0) {
+      st.completed_at = env.now();
+      latencies_.push_back(env.now() - st.sent_at);
+    }
+  }
+
+  [[nodiscard]] const std::vector<double>& latencies() const {
+    return latencies_;
+  }
+  [[nodiscard]] std::size_t issued() const { return issued_; }
+
+  /// Completion times folded in request-id order — the shard-count
+  /// determinism gate's digest input.
+  [[nodiscard]] std::uint64_t digest() const {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const auto& [id, st] : pending_) {
+      h = fnv(h, id);
+      h = fnv(h, st.granted);
+      h = fnv(h, bits_of(st.completed_at));
+    }
+    return h;
+  }
+
+ private:
+  struct RequestState {
+    double sent_at = 0.0;
+    double completed_at = -1.0;
+    std::uint32_t granted = 0;
+  };
+
+  void issue() {
+    if (issued_ >= total_) return;
+    core::msg::ReserveRequest req;
+    req.request_id = static_cast<std::uint32_t>(++last_id_);
+    req.count = batch_;
+    req.requester = env_->self();
+    const std::size_t n = sps_.size();
+    const std::size_t pick =
+        sharded_ ? core::shard_of(req.request_id, n) : last_id_ % n;
+    pending_[req.request_id] = RequestState{env_->now(), -1.0, 0};
+    rmi::invoke(*env_, sps_[pick], req);
+    ++issued_;
+    if (issued_ < total_) env_->schedule(gap_, [this] { issue(); });
+  }
+
+  std::vector<net::Stub> sps_;
+  std::size_t total_;
+  std::uint32_t batch_;
+  double gap_;
+  double start_at_;
+  bool sharded_;
+  net::Env* env_ = nullptr;
+  std::size_t issued_ = 0;
+  std::uint64_t last_id_ = 0;
+  std::map<std::uint32_t, RequestState> pending_;
+  std::vector<double> latencies_;
+};
+
+struct CpCaseResult {
+  std::size_t daemons = 0;
+  std::size_t super_peers = 0;
+  std::size_t requests = 0;
+  std::size_t completed = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_share = 0.0;   ///< busiest SP's fraction of reservations served
+  std::uint64_t forwarded = 0;
+  std::uint64_t served_total = 0;
+  double wall_s = 0.0;
+  std::uint64_t digest = 0;
+};
+
+double percentile_ms(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t idx = std::min(
+      v.size() - 1, static_cast<std::size_t>(p * static_cast<double>(v.size())));
+  return v[idx] * 1e3;
+}
+
+/// One reservation-load case: `daemons` register across `sps` super-peers
+/// (hash-sharded when sps > 1), then the probe issues `requests` batch-4
+/// reservations. Zero jitter so the same case doubles as the decentralized
+/// determinism gate across scheduler shard counts.
+CpCaseResult run_cp_case(std::size_t daemons, std::size_t sps,
+                         std::size_t requests, std::uint64_t seed,
+                         std::size_t sim_shards) {
+  sim::SimConfig sim_config;
+  sim_config.seed = seed;
+  sim_config.max_time = 1e6;
+  sim_config.message_jitter = 0.0;  // §13: shard-count invariance needs
+  sim_config.compute_jitter = 0.0;  // the per-shard jitter streams quiet
+  sim_config.shards = sim_shards;
+  sim::SimWorld world(sim_config);
+
+  core::ControlPlaneConfig cp;
+  cp.shard_register = sps > 1;
+
+  std::vector<core::SuperPeer*> sp_actors;
+  std::vector<net::Stub> sp_stubs;
+  std::vector<net::Stub> sp_addresses;
+  for (std::size_t i = 0; i < sps; ++i) {
+    auto sp = std::make_unique<core::SuperPeer>(core::TimingConfig{}, cp);
+    sp_actors.push_back(sp.get());
+    const net::Stub stub =
+        world.add_node(std::move(sp), sim::MachineSpec::super_peer_class(),
+                       net::EntityKind::SuperPeer);
+    sp_stubs.push_back(stub);
+    sp_addresses.push_back(stub.address());
+  }
+  for (auto* sp : sp_actors) sp->set_linked_peers(sp_stubs);
+
+  for (std::size_t i = 0; i < daemons; ++i) {
+    world.add_node(std::make_unique<core::Daemon>(
+                       sp_addresses, core::TimingConfig{}, core::PerfConfig{},
+                       cp),
+                   sim::MachineSpec{}, net::EntityKind::Daemon);
+  }
+
+  // Warmup 2 s (registration completes in one bootstrap round), then one
+  // request every 50 ms — the measured window stays well clear of
+  // reserved_timeout churn.
+  auto probe_owned = std::make_unique<ReserveLoadProbe>(
+      sp_stubs, requests, /*batch=*/4, /*gap=*/0.05, /*start_at=*/2.0,
+      /*sharded=*/sps > 1);
+  ReserveLoadProbe* probe = probe_owned.get();
+  world.add_node(std::move(probe_owned), sim::MachineSpec::spawner_class(),
+                 net::EntityKind::Spawner);
+
+  const double start = now_s();
+  world.run_until(2.0 + 0.05 * static_cast<double>(requests) + 3.0);
+  const double wall = now_s() - start;
+
+  CpCaseResult r;
+  r.daemons = daemons;
+  r.super_peers = sps;
+  r.requests = probe->issued();
+  r.completed = probe->latencies().size();
+  r.p50_ms = percentile_ms(probe->latencies(), 0.50);
+  r.p95_ms = percentile_ms(probe->latencies(), 0.95);
+  r.p99_ms = percentile_ms(probe->latencies(), 0.99);
+  std::uint64_t max_served = 0;
+  std::uint64_t digest = probe->digest();
+  for (const auto* sp : sp_actors) {
+    max_served = std::max(max_served, sp->reservations_served());
+    r.served_total += sp->reservations_served();
+    r.forwarded += sp->requests_forwarded();
+    digest = fnv(digest, sp->reservations_served());
+    digest = fnv(digest, sp->requests_forwarded());
+  }
+  r.max_share = r.served_total > 0 ? static_cast<double>(max_served) /
+                                         static_cast<double>(r.served_total)
+                                   : 0.0;
+  r.wall_s = wall;
+  r.digest = digest;
+  return r;
+}
+
+// --- convergence-message pair (centralized board vs diffusion wave) ---------
+
+class ScaleTickerTask : public core::Task {
+ public:
+  void init(const core::AppDescriptor& app, core::TaskId task_id) override {
+    task_id_ = task_id;
+    task_count_ = app.task_count;
+  }
+  double iterate() override {
+    ++iterations_;
+    error_ = 1.0 / static_cast<double>(iterations_);
+    return 1e6;
+  }
+  std::vector<core::OutgoingData> outgoing() override {
+    if (task_count_ < 2) return {};
+    serial::Writer w;
+    w.u64(iterations_);
+    return {core::OutgoingData{(task_id_ + 1) % task_count_, w.take()}};
+  }
+  [[nodiscard]] double local_error() const override { return error_; }
+  void on_data(core::TaskId, std::uint64_t, const serial::Bytes&) override {}
+  [[nodiscard]] serial::Bytes checkpoint() const override {
+    serial::Writer w;
+    w.u64(iterations_);
+    return w.take();
+  }
+  void restore(const serial::Bytes& state) override {
+    serial::Reader r(state);
+    iterations_ = r.u64();
+    error_ = iterations_ ? 1.0 / static_cast<double>(iterations_) : 1.0;
+  }
+
+ private:
+  core::TaskId task_id_ = 0;
+  std::uint32_t task_count_ = 0;
+  std::uint64_t iterations_ = 0;
+  double error_ = 1.0;
+};
+
+struct ConvCaseResult {
+  bool completed = false;
+  double convergence_time = 0.0;
+  std::uint64_t spawner_reports = 0;   ///< LocalStateReport through the spawner
+  std::uint64_t verdicts = 0;          ///< ConvergedVerdict through the spawner
+  std::uint64_t wave_tokens = 0;       ///< WaveToken hops on the task ring
+  double wall_s = 0.0;
+};
+
+ConvCaseResult run_conv_case(std::size_t daemons, std::uint32_t tasks,
+                             bool diffusion, std::uint64_t seed) {
+  static core::ProgramRegistrar registrar("scale.ticker", [] {
+    return std::unique_ptr<core::Task>(new ScaleTickerTask());
+  });
+
+  core::SimDeploymentConfig config;
+  config.daemon_count = daemons;
+  config.app.app_id = 77;
+  config.app.program = "scale.ticker";
+  config.app.task_count = tasks;
+  config.app.checkpoint_every = 5;
+  config.app.backup_peer_count = 2;
+  config.app.convergence_threshold = 0.002;  // stable once iteration >= 500
+  config.app.stable_iterations_required = 3;
+  config.max_sim_time = 600.0;
+  config.sim.seed = seed;
+  config.cp.super_peers = 4;
+  config.cp.shard_register = true;
+  config.cp.diffusion = diffusion;
+
+  core::SimDeployment deployment(config);
+  const double start = now_s();
+  const core::SimExperimentReport report = deployment.run();
+  const double wall = now_s() - start;
+
+  ConvCaseResult r;
+  r.completed = report.spawner.completed;
+  r.convergence_time = report.spawner.convergence_time;
+  const auto& delivered = report.net.delivered_by_type;
+  const auto count_of = [&](net::MessageType t) -> std::uint64_t {
+    const auto it = delivered.find(t);
+    return it == delivered.end() ? 0 : it->second;
+  };
+  r.spawner_reports = count_of(core::msg::LocalStateReport::kType);
+  r.verdicts = count_of(core::msg::ConvergedVerdict::kType);
+  r.wave_tokens = count_of(core::msg::WaveToken::kType);
+  r.wall_s = wall;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -213,6 +519,75 @@ int main(int argc, char** argv) {
   const double floor_ratio =
       single_eps > 0.0 ? best_sharded_eps / single_eps : 0.0;
 
+  // --- control-plane sweep (§13) -------------------------------------------
+
+  const std::vector<std::size_t> cp_tiers =
+      *smoke ? std::vector<std::size_t>{100, 1000}
+             : std::vector<std::size_t>{100, 1000, 10000, 100000};
+  const std::size_t cp_requests = *smoke ? 40 : 100;
+  std::vector<CpCaseResult> cp_results;
+  for (const std::size_t daemons : cp_tiers) {
+    // Reserved daemons stay out of the register for the whole measured
+    // window, so a tier can fill at most daemons/batch requests.
+    const std::size_t tier_requests = std::min(cp_requests, daemons / 4);
+    for (const std::size_t sps : {std::size_t{1}, std::size_t{4}}) {
+      cp_results.push_back(run_cp_case(daemons, sps, tier_requests, *seed, 1));
+      const CpCaseResult& r = cp_results.back();
+      std::fprintf(stderr,
+                   "cp daemons %6zu  sps %zu  reservations p50 %6.1fms p95 "
+                   "%6.1fms p99 %6.1fms  max-share %4.1f%%  forwarded %" PRIu64
+                   "  wall %6.3fs\n",
+                   r.daemons, r.super_peers, r.p50_ms, r.p95_ms, r.p99_ms,
+                   r.max_share * 100.0, r.forwarded, r.wall_s);
+      if (r.completed != r.requests) ok = false;
+    }
+  }
+
+  // Decentralized determinism gate: the 1k-daemon sharded case must replay
+  // bit-for-bit across scheduler shard counts (zero jitter inside the cases).
+  const CpCaseResult det1 = run_cp_case(1000, 4, cp_requests, *seed, 1);
+  const CpCaseResult det4 = run_cp_case(1000, 4, cp_requests, *seed, 4);
+  const bool cp_deterministic = det1.digest == det4.digest;
+  if (!cp_deterministic) {
+    std::fprintf(stderr, "cp DETERMINISM MISMATCH across sim shards\n");
+    ok = false;
+  }
+
+  // Convergence-detection message pair: centralized board vs diffusion wave,
+  // at the 10k-daemon tier in full mode.
+  const std::size_t conv_daemons = *smoke ? 500 : 10000;
+  const std::uint32_t conv_tasks = 16;
+  const ConvCaseResult conv_central =
+      run_conv_case(conv_daemons, conv_tasks, /*diffusion=*/false, *seed);
+  const ConvCaseResult conv_diff =
+      run_conv_case(conv_daemons, conv_tasks, /*diffusion=*/true, *seed);
+  std::fprintf(stderr,
+               "conv daemons %zu tasks %u: centralized %" PRIu64
+               " spawner msgs (conv %.2fs) | diffusion %" PRIu64
+               " verdicts, %" PRIu64 " wave tokens (conv %.2fs)\n",
+               conv_daemons, conv_tasks, conv_central.spawner_reports,
+               conv_central.convergence_time, conv_diff.verdicts,
+               conv_diff.wave_tokens, conv_diff.convergence_time);
+  if (!conv_central.completed || !conv_diff.completed) ok = false;
+
+  // Floor inputs: the largest tier's 4-SP reservation share, and the spawner
+  // message count under diffusion (must be O(1) per application).
+  double cp_max_share = 0.0;
+  std::size_t cp_floor_tier = 0;
+  for (const CpCaseResult& r : cp_results) {
+    if (r.super_peers == 4 && r.daemons >= cp_floor_tier) {
+      cp_floor_tier = r.daemons;
+      cp_max_share = r.max_share;
+    }
+  }
+  const double cp_share_bound = 1.0 / 4.0 + 0.10;
+  const std::uint64_t cp_conv_bound = 8;
+  const std::uint64_t spawner_conv_msgs =
+      conv_diff.spawner_reports + conv_diff.verdicts;
+  const bool cp_ok = cp_max_share <= cp_share_bound &&
+                     spawner_conv_msgs <= cp_conv_bound && cp_deterministic;
+  if (!cp_ok) ok = false;
+
   std::printf("{\n  \"smoke\": %s,\n  \"seed\": %" PRIu64
               ",\n  \"sim_seconds\": %g,\n  \"cases\": [\n",
               *smoke ? "true" : "false", *seed, sim_seconds);
@@ -229,10 +604,49 @@ int main(int argc, char** argv) {
   }
   std::printf("  ],\n  \"floor\": {\"daemons\": 1000, \"single_eps\": %.1f, "
               "\"best_sharded_eps\": %.1f, \"best_shards\": %zu, "
-              "\"ratio\": %.3f},\n  \"ok\": %s\n}\n",
-              single_eps, best_sharded_eps, best_shards, floor_ratio,
-              ok ? "true" : "false");
+              "\"ratio\": %.3f},\n",
+              single_eps, best_sharded_eps, best_shards, floor_ratio);
+
+  std::printf("  \"cp_cases\": [\n");
+  for (std::size_t i = 0; i < cp_results.size(); ++i) {
+    const CpCaseResult& r = cp_results[i];
+    std::printf("    {\"daemons\": %zu, \"super_peers\": %zu, "
+                "\"requests\": %zu, \"completed\": %zu, \"p50_ms\": %.3f, "
+                "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"max_share\": %.4f, "
+                "\"forwarded\": %" PRIu64 ", \"served\": %" PRIu64
+                ", \"wall_s\": %.6f}%s\n",
+                r.daemons, r.super_peers, r.requests, r.completed, r.p50_ms,
+                r.p95_ms, r.p99_ms, r.max_share, r.forwarded, r.served_total,
+                r.wall_s, i + 1 < cp_results.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"cp_convergence\": {\"daemons\": %zu, \"tasks\": %u, "
+              "\"centralized_spawner_msgs\": %" PRIu64
+              ", \"centralized_conv_time\": %.4f, "
+              "\"diffusion_spawner_msgs\": %" PRIu64
+              ", \"diffusion_wave_tokens\": %" PRIu64
+              ", \"diffusion_conv_time\": %.4f},\n",
+              conv_daemons, conv_tasks, conv_central.spawner_reports,
+              conv_central.convergence_time, spawner_conv_msgs,
+              conv_diff.wave_tokens, conv_diff.convergence_time);
+  // Digests are quoted: u64 values above 2^53 would lose digits through the
+  // double-typed JSON tooling (jq) that run_bench.sh stamps files with.
+  std::printf("  \"cp_determinism\": {\"shards1_digest\": \"%" PRIu64
+              "\", \"shards4_digest\": \"%" PRIu64 "\", \"ok\": %s},\n",
+              det1.digest, det4.digest, cp_deterministic ? "true" : "false");
+  std::printf("  \"cp_floor\": {\"daemons\": %zu, \"super_peers\": 4, "
+              "\"max_share\": %.4f, \"share_bound\": %.4f, "
+              "\"spawner_conv_msgs\": %" PRIu64 ", \"conv_msgs_bound\": %" PRIu64
+              ", \"ok\": %s},\n",
+              cp_floor_tier, cp_max_share, cp_share_bound, spawner_conv_msgs,
+              cp_conv_bound, cp_ok ? "true" : "false");
+  std::printf("  \"ok\": %s\n}\n", ok ? "true" : "false");
   std::fprintf(stderr, "floor: sharded/single at 1k daemons = %.2fx (best: %zu shards)\n",
                floor_ratio, best_shards);
+  std::fprintf(stderr,
+               "cp floor: max share %.1f%% (bound %.1f%%), spawner conv msgs "
+               "%" PRIu64 " (bound %" PRIu64 "), deterministic %s\n",
+               cp_max_share * 100.0, cp_share_bound * 100.0, spawner_conv_msgs,
+               cp_conv_bound, cp_deterministic ? "yes" : "NO");
   return ok ? 0 : 1;
 }

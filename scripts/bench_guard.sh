@@ -31,6 +31,14 @@
 #     hovers around 1.0 with scheduler noise, so this is a cliff detector for
 #     bugs like an accidentally serializing round barrier, not a speedup
 #     target. The real speedup lives at the 10k tier (see EXPERIMENTS.md).
+#  4. Control-plane floors — also inside BENCH_scale.json and also within-run
+#     counters, so machine-portable. Three hard gates from DESIGN.md §13:
+#     (a) with N super-peers no single one may serve more than
+#         share_bound (1/N + tolerance) of reservation traffic,
+#     (b) diffusion-based detection must keep spawner-bound convergence
+#         traffic at O(1) per application (spawner_conv_msgs <= bound),
+#     (c) the decentralized plane must replay bit-identically across
+#         scheduler shard counts (cp_determinism.ok).
 #
 # Usage: scripts/bench_guard.sh BENCH_micro.json [BENCH_hotpath.json ...]
 #        BENCH_GUARD_STRICT=1 BENCH_GUARD_SKIP_BASELINE=1 scripts/bench_guard.sh BENCH_hotpath.json
@@ -95,6 +103,23 @@ simd_floor_checks() {
   ' "${file}" 2>/dev/null
 }
 
+# Control-plane floors (see header, check 4). All within-run counters, no
+# tolerance knob: the bounds are already baked into the bench output.
+cp_floor_checks() {
+  local file="$1"
+  jq -r '
+    ((.cp_floor // empty)
+      | select(.max_share > .share_bound)
+      | "bench-guard: FLOOR cp/reservation_share@\(.daemons)d/\(.super_peers)sp: \(.max_share * 1000 | floor / 1000) above bound \(.share_bound)"),
+    ((.cp_floor // empty)
+      | select(.spawner_conv_msgs > .conv_msgs_bound)
+      | "bench-guard: FLOOR cp/spawner_conv_msgs: \(.spawner_conv_msgs) above O(1) bound \(.conv_msgs_bound)"),
+    ((.cp_determinism // empty)
+      | select(.ok != true)
+      | "bench-guard: FLOOR cp/shard_determinism: digest \(.shards1_digest) (shards=1) != \(.shards4_digest) (shards=4)")
+  ' "${file}" 2>/dev/null
+}
+
 # Sharded-scheduler floor (see header, check 3). Within-run ratio, so it is
 # machine-portable; tolerance-adjusted because the 1k tier sits at parity.
 scale_floor_checks() {
@@ -132,6 +157,13 @@ for file in "$@"; do
       total_warnings=$((total_warnings + $(echo "${scale_violations}" | wc -l)))
     else
       echo "bench-guard: ${name}: sharded throughput floor holds"
+    fi
+    cp_violations="$(cp_floor_checks "${file}")"
+    if [[ -n "${cp_violations}" ]]; then
+      echo "${cp_violations}"
+      total_warnings=$((total_warnings + $(echo "${cp_violations}" | wc -l)))
+    else
+      echo "bench-guard: ${name}: control-plane floors hold"
     fi
   fi
 

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace jacepp::core {
 
@@ -38,6 +39,52 @@ struct TimingConfig {
   std::size_t backup_byte_budget = 0;  ///< BackupStore cap, bytes; exceeding
                                        ///< it evicts whole apps (finished,
                                        ///< then stalest, first); 0 = unbounded
+};
+
+/// Control-plane topology knobs (DESIGN.md §13): how many super-peers carry
+/// the daemon Register, how daemons map onto them, whether the Application
+/// Register is replicated off the spawner, and which global-convergence
+/// detector runs. Defaults reproduce the paper's centralized control plane
+/// bit-for-bit (`cp.super_peers = 1` via the deployment default + centralized
+/// detection is golden-pinned in tests/core/test_control_plane.cpp).
+struct ControlPlaneConfig {
+  /// Number of linked super-peers. 0 defers to the deployment's
+  /// `super_peer_count`; > 0 overrides it in both deployments.
+  std::size_t super_peers = 0;
+  /// Shard the daemon Register by consistent hash: a daemon registers at its
+  /// home super-peer `mix64(node_id) % N` (stable across crash/revive
+  /// incarnations) and walks the ring deterministically when the home SP is
+  /// down; reservation requests are spread over the overlay by request id.
+  /// Off (default): the paper's random-bootstrap choice, bit-identical to the
+  /// pre-PR behaviour.
+  bool shard_register = false;
+  /// Bound on reservation-forwarding hops across the super-peer overlay
+  /// (counted as super-peers visited). 0 = unbounded: the whole overlay may
+  /// be walked, the pre-PR behaviour.
+  std::uint32_t max_forward_depth = 0;
+  /// Replicate the Application Register to the first `replica_count`
+  /// super-peers on every version change, so a standby spawner can adopt a
+  /// running application after the primary dies (Spawner recover mode).
+  bool replicate_register = false;
+  std::uint32_t replica_count = 2;
+  /// Distributed diffusion/wave convergence detection (Bui–Flauzac–Rabat
+  /// style ring waves over the task graph) instead of the spawner's
+  /// centralized AND-of-states board. The spawner then receives only the
+  /// final ConvergedVerdict — O(1) convergence messages per application.
+  bool diffusion = false;
+  double wave_period = 0.5;   ///< initiator launch/retry scan period
+  double wave_timeout = 3.0;  ///< relaunch a wave whose token went missing
+  /// Spawner-side reservation TTL: a reserved daemon that sits unassigned in
+  /// the spawner's pool longer than this is written off (it re-registers on
+  /// its own via `reserved_timeout`). 0 disables. Keep it below the daemons'
+  /// `reserved_timeout` so both sides agree the reservation lapsed.
+  double reservation_ttl = 4.0;
+  /// NACK-and-retry window for a freshly assigned task: if the daemon never
+  /// heartbeats after the assignment within this long, the spawner retries
+  /// with another daemon instead of waiting out the full `daemon_timeout`
+  /// (covers a daemon that crashed between ReserveReply and assignment).
+  /// 0 disables. Must exceed `heartbeat_period` with margin.
+  double assign_ack_timeout = 1.5;
 };
 
 /// Knobs for the staleness-aware comm path (net/link.hpp; DESIGN.md §8).

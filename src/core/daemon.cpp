@@ -4,14 +4,16 @@
 #include <cmath>
 
 #include "core/periodic.hpp"
+#include "core/shard.hpp"
 #include "support/logging.hpp"
 
 namespace jacepp::core {
 
 Daemon::Daemon(std::vector<net::Stub> bootstrap_addresses, TimingConfig timing,
-               PerfConfig perf)
+               PerfConfig perf, ControlPlaneConfig cp)
     : timing_(timing),
       perf_(perf),
+      cp_(cp),
       bootstrap_addresses_(std::move(bootstrap_addresses)) {
   JACEPP_CHECK(!bootstrap_addresses_.empty(),
                "Daemon needs at least one super-peer bootstrap address");
@@ -173,6 +175,28 @@ Daemon::Daemon(std::vector<net::Stub> bootstrap_addresses, TimingConfig timing,
       [this](const msg::GlobalHalt& m, const net::Message&, net::Env&) {
         handle_halt(m);
       });
+  dispatcher_.on<msg::WaveToken>(
+      [this](const msg::WaveToken& m, const net::Message&, net::Env&) {
+        handle_wave_token(m);
+      });
+  dispatcher_.on<msg::StateProbe>(
+      [this](const msg::StateProbe& m, const net::Message& raw, net::Env& env) {
+        // A standby spawner rebuilding its convergence board after adopting
+        // the application (DESIGN.md §13) asks for an absolute state report.
+        if (state_ != State::Computing || halted_ || m.app_id != app_.app_id) {
+          return;
+        }
+        msg::LocalStateReport report;
+        report.app_id = app_.app_id;
+        report.task_id = task_id_;
+        report.stable = tracker_.has_value() && tracker_->stable();
+        report.iteration = iteration_;
+        rmi::invoke(env, raw.from, report);
+      });
+}
+
+std::uint32_t Daemon::waves_launched() const {
+  return wave_.has_value() ? wave_->waves_launched() : 0;
 }
 
 void Daemon::on_start(net::Env& env) {
@@ -192,6 +216,7 @@ void Daemon::on_stop(net::Env& /*env*/) {}
 
 void Daemon::begin_bootstrap() {
   set_state(State::Bootstrapping);
+  shard_walk_ = 0;
   bump_epoch();
   attempt_register();
 }
@@ -199,10 +224,18 @@ void Daemon::begin_bootstrap() {
 void Daemon::attempt_register() {
   if (state_ != State::Bootstrapping) return;
   ++bootstrap_attempts_;
-  // Random choice among the stored super-peer addresses; retry until one is
-  // reachable (i.e. a RegisterAck comes back before the retry timer).
-  const net::Stub& choice =
-      bootstrap_addresses_[env_->rng().index(bootstrap_addresses_.size())];
+  // Sharded register (cp.shard_register): deterministic ring walk starting at
+  // the daemon's home super-peer, `shard_of(node_id)` — stable across
+  // crash/revive incarnations, so a re-registering daemon lands on the same
+  // shard. Otherwise the paper's random choice among the stored addresses;
+  // either way, retry until one is reachable (i.e. a RegisterAck comes back
+  // before the retry timer).
+  const std::size_t n = bootstrap_addresses_.size();
+  const std::size_t pick =
+      cp_.shard_register
+          ? (shard_of(env_->self().node, n) + shard_walk_++) % n
+          : env_->rng().index(n);
+  const net::Stub& choice = bootstrap_addresses_[pick];
   rmi::invoke(*env_, choice, msg::RegisterDaemon{env_->self()});
   const std::uint64_t epoch = epoch_;
   env_->schedule(timing_.bootstrap_retry, [this, epoch] {
@@ -253,6 +286,12 @@ void Daemon::handle_assignment(const msg::TaskAssignment& m) {
   restore_retried_ = false;
   tracker_.emplace(app_.convergence_threshold, app_.stable_iterations_required);
 
+  // Diffusion-wave state: a fresh or replacement task has no certified
+  // history, so it must dirty the next wave pass (DESIGN.md §13).
+  wave_dirty_ = true;
+  held_token_.reset();
+  wave_.reset();
+
   backup_peers_ = backup_peers_of(task_id_, app_.task_count,
                                   app_.backup_peer_count);
   encoder_.emplace(app_.ckpt, backup_peers_.size());
@@ -295,6 +334,18 @@ void Daemon::handle_assignment(const msg::TaskAssignment& m) {
     rmi::invoke(*env_, reg_.spawner, msg::Heartbeat{});
     return true;
   });
+
+  // Diffusion mode: the daemon running task 0 is the wave initiator. Its
+  // periodic scan launches a wave when locally stable, relaunches one whose
+  // token went missing, and re-sends the verdict until the halt arrives.
+  if (cp_.diffusion && task_id_ == 0 && !finalize_only_) {
+    wave_.emplace();
+    arm_periodic(*env_, cp_.wave_period, [this, epoch]() -> bool {
+      if (epoch != epoch_ || state_ != State::Computing || halted_) return false;
+      wave_scan();
+      return true;
+    });
+  }
 
   if (m.restart || m.finalize_only) {
     begin_restore();
@@ -433,16 +484,28 @@ void Daemon::finish_iteration() {
 
   // Local convergence detection (§5.5): report 1/0 transitions only. The
   // error is only evaluated when the iteration consumed fresh dependency
-  // data; see Task::error_is_informative.
+  // data; see Task::error_is_informative. In diffusion mode (DESIGN.md §13)
+  // transitions feed the wave protocol instead of the spawner: going unstable
+  // dirties the next token pass, going stable releases a held token (and, at
+  // the initiator, may launch the next wave).
   if (const auto transition = task_->error_is_informative()
                                   ? tracker_->update(task_->local_error())
                                   : std::nullopt) {
-    msg::LocalStateReport report;
-    report.app_id = app_.app_id;
-    report.task_id = task_id_;
-    report.stable = *transition;
-    report.iteration = iteration_;
-    rmi::invoke(*env_, reg_.spawner, report);
+    if (cp_.diffusion) {
+      if (*transition) {
+        maybe_forward_wave();
+        if (wave_.has_value()) wave_scan();
+      } else {
+        wave_dirty_ = true;
+      }
+    } else {
+      msg::LocalStateReport report;
+      report.app_id = app_.app_id;
+      report.task_id = task_id_;
+      report.stable = *transition;
+      report.iteration = iteration_;
+      rmi::invoke(*env_, reg_.spawner, report);
+    }
   }
 
   // Checkpoint every k iterations (jaceSave, §5.4). checkpoint_every == 0
@@ -504,6 +567,96 @@ void Daemon::do_checkpoint() {
     current_interval_ = static_cast<std::uint32_t>(
         std::min<double>(hi, std::max<double>(lo, k)));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Diffusion-wave convergence detection (cp.diffusion; DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+void Daemon::handle_wave_token(const msg::WaveToken& m) {
+  if (!cp_.diffusion || state_ != State::Computing || halted_ ||
+      finalize_only_ || m.app_id != app_.app_id || m.to_task != task_id_) {
+    return;
+  }
+  if (task_id_ == m.initiator) {
+    // Wave completed a round trip. Stale tokens (a relaunch superseded their
+    // wave) are dropped; the live one folds the ring's dirty bit with the
+    // initiator's own state.
+    if (!wave_.has_value() || !wave_->outstanding() ||
+        m.wave_id != wave_->current_wave()) {
+      return;
+    }
+    const bool clean =
+        !m.dirty && !wave_dirty_ && tracker_.has_value() && tracker_->stable();
+    wave_dirty_ = false;
+    if (wave_->complete(clean)) {
+      send_verdict();
+    } else if (tracker_.has_value() && tracker_->stable()) {
+      launch_wave();  // chase the next clean round without waiting a period
+    }
+    return;
+  }
+  // Mid-ring: park the token until locally stable (a newer token simply
+  // replaces an older parked one — the old wave already timed out or will).
+  held_token_ = m;
+  maybe_forward_wave();
+}
+
+void Daemon::maybe_forward_wave() {
+  if (!held_token_.has_value() || restore_phase_ != RestorePhase::None) return;
+  if (!tracker_.has_value() || !tracker_->stable()) return;
+  msg::WaveToken token = *held_token_;
+  held_token_.reset();
+  token.dirty = token.dirty || wave_dirty_;
+  wave_dirty_ = false;
+  forward_wave(std::move(token));
+}
+
+void Daemon::forward_wave(msg::WaveToken token) {
+  token.to_task = (task_id_ + 1) % app_.task_count;
+  const net::Stub to = reg_.daemon_of(token.to_task);
+  // A failed, not-yet-replaced successor drops the token; the initiator's
+  // wave_timeout relaunches it once the ring is whole again.
+  if (!to.valid()) return;
+  rmi::invoke(*env_, to, token);
+}
+
+void Daemon::launch_wave() {
+  msg::WaveToken token;
+  token.app_id = app_.app_id;
+  token.wave_id = wave_->launch();
+  token.initiator = task_id_;
+  token.dirty = wave_dirty_;
+  wave_dirty_ = false;
+  wave_launched_at_ = env_->now();
+  if (app_.task_count < 2) {
+    // Degenerate single-task ring: the wave completes in place.
+    if (wave_->complete(!token.dirty)) send_verdict();
+    return;
+  }
+  forward_wave(std::move(token));
+}
+
+void Daemon::wave_scan() {
+  if (!wave_.has_value()) return;
+  if (wave_->converged()) {
+    send_verdict();  // re-send until the GlobalHalt kills this timer
+    return;
+  }
+  if (wave_->outstanding()) {
+    // Token lost (daemon crashed holding it, or a ring slot is vacant).
+    if (env_->now() - wave_launched_at_ > cp_.wave_timeout) launch_wave();
+    return;
+  }
+  if (tracker_.has_value() && tracker_->stable()) launch_wave();
+}
+
+void Daemon::send_verdict() {
+  msg::ConvergedVerdict verdict;
+  verdict.app_id = app_.app_id;
+  verdict.wave_id = wave_->current_wave();
+  verdict.waves_run = wave_->waves_launched();
+  rmi::invoke(*env_, reg_.spawner, verdict);
 }
 
 void Daemon::handle_halt(const msg::GlobalHalt& m) {

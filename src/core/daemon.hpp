@@ -43,9 +43,11 @@ class Daemon : public net::Actor {
   };
 
   /// `bootstrap_addresses` is the paper's stored list of super-peer IP
-  /// addresses: address stubs (incarnation 0) tried in random order.
+  /// addresses: address stubs (incarnation 0) tried in random order — or, with
+  /// `cp.shard_register`, in a deterministic ring walk from the daemon's home
+  /// shard (DESIGN.md §13).
   Daemon(std::vector<net::Stub> bootstrap_addresses, TimingConfig timing = {},
-         PerfConfig perf = {});
+         PerfConfig perf = {}, ControlPlaneConfig cp = {});
 
   void on_start(net::Env& env) override;
   void on_message(const net::Message& message, net::Env& env) override;
@@ -67,6 +69,8 @@ class Daemon : public net::Actor {
   [[nodiscard]] std::uint64_t restores_from_backup() const { return restores_from_backup_; }
   [[nodiscard]] std::uint64_t restarts_from_zero() const { return restarts_from_zero_; }
   [[nodiscard]] std::uint64_t bootstrap_attempts() const { return bootstrap_attempts_; }
+  [[nodiscard]] const net::Stub& registered_super_peer() const { return super_peer_; }
+  [[nodiscard]] std::uint32_t waves_launched() const;
   [[nodiscard]] Task* task() { return task_.get(); }
 
   // Checkpoint-path introspection (valid while computing / post-run).
@@ -103,10 +107,20 @@ class Daemon : public net::Actor {
   void handle_halt(const msg::GlobalHalt& m);
   void teardown_task();
 
+  // Diffusion-wave convergence detection (DESIGN.md §13; only with
+  // cp_.diffusion).
+  void handle_wave_token(const msg::WaveToken& m);
+  void maybe_forward_wave();
+  void forward_wave(msg::WaveToken token);
+  void launch_wave();
+  void wave_scan();
+  void send_verdict();
+
   void bump_epoch() { ++epoch_; }
 
   TimingConfig timing_;
   PerfConfig perf_;
+  ControlPlaneConfig cp_;
   std::vector<net::Stub> bootstrap_addresses_;
   rmi::Dispatcher dispatcher_;
   net::Env* env_ = nullptr;
@@ -124,6 +138,9 @@ class Daemon : public net::Actor {
   net::Stub super_peer_;
   double last_sp_ack_ = 0.0;
   std::uint64_t bootstrap_attempts_ = 0;
+  /// Ring-walk position for sharded bootstrap (reset per bootstrap round so a
+  /// re-registering daemon tries its home super-peer first).
+  std::uint64_t shard_walk_ = 0;
 
   // Reserved state.
   net::Stub reserving_spawner_;
@@ -138,6 +155,12 @@ class Daemon : public net::Actor {
   std::optional<asynciter::LocalConvergenceTracker> tracker_;
   bool halted_ = false;
   bool finalize_only_ = false;
+
+  // Diffusion-wave state (cp_.diffusion; DESIGN.md §13).
+  bool wave_dirty_ = false;  ///< went unstable since the last token pass
+  std::optional<msg::WaveToken> held_token_;  ///< parked until locally stable
+  std::optional<asynciter::DiffusionWaveInitiator> wave_;  ///< task 0 only
+  double wave_launched_at_ = 0.0;
 
   // Checkpoint emission (§5.4 + delta framing, core/checkpoint.hpp).
   std::vector<TaskId> backup_peers_;

@@ -1,0 +1,137 @@
+// Deadline index for heartbeat failure detection: an indexed binary min-heap
+// of (deadline, key) entries with in-place key updates. The super-peer's old
+// sweep walked its whole Register every `sweep_period` — O(daemons) per check,
+// a real cost at 100k registered daemons. Here `bump` relocates the key's
+// single entry (O(log n)), and `expire` pops only entries that actually
+// expired — O(1) when nobody died, O(expired · log n) otherwise — so the
+// periodic sweep no longer scales with fleet size.
+//
+// Pop order is a pure function of the heap contents — ties on deadline break
+// by key, never by insertion order — and expiration emits no messages, so
+// using this index instead of a full scan cannot change observable protocol
+// behaviour (the §13 golden pin covers this).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace jacepp::core {
+
+template <typename Key>
+class DeadlineHeap {
+ public:
+  /// Insert `key`, or move its existing entry to the new deadline.
+  void bump(const Key& key, double deadline) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      entries_.push_back(Entry{deadline, key});
+      index_[key] = entries_.size() - 1;
+      sift_up(entries_.size() - 1);
+      return;
+    }
+    const std::size_t i = it->second;
+    const double old = entries_[i].deadline;
+    entries_[i].deadline = deadline;
+    if (deadline < old) {
+      sift_up(i);
+    } else if (deadline > old) {
+      sift_down(i);
+    }
+  }
+
+  /// Forget `key` entirely. No-op when absent.
+  void erase(const Key& key) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) remove_at(it->second);
+  }
+
+  [[nodiscard]] bool contains(const Key& key) const {
+    return index_.count(key) != 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Pop every key whose deadline is strictly before `now` and call `fn(key)`
+  /// for it (the key is erased first, so `fn` may re-bump it). Returns the
+  /// number of expirations.
+  template <typename Fn>
+  std::size_t expire(double now, Fn&& fn) {
+    std::size_t expired = 0;
+    while (!entries_.empty() && entries_.front().deadline < now) {
+      const Key key = entries_.front().key;
+      remove_at(0);
+      fn(key);
+      ++expired;
+    }
+    return expired;
+  }
+
+  /// Earliest deadline (+inf when empty).
+  [[nodiscard]] double next_deadline() const {
+    return entries_.empty() ? std::numeric_limits<double>::infinity()
+                            : entries_.front().deadline;
+  }
+
+ private:
+  struct Entry {
+    double deadline = 0.0;
+    Key key{};
+  };
+
+  [[nodiscard]] bool precedes(const Entry& a, const Entry& b) const {
+    if (a.deadline != b.deadline) return a.deadline < b.deadline;
+    return a.key < b.key;
+  }
+
+  void swap_at(std::size_t i, std::size_t j) {
+    std::swap(entries_[i], entries_[j]);
+    index_[entries_[i].key] = i;
+    index_[entries_[j].key] = j;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!precedes(entries_[i], entries_[parent])) break;
+      swap_at(i, parent);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = entries_.size();
+    while (true) {
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = 2 * i + 2;
+      std::size_t best = i;
+      if (left < n && precedes(entries_[left], entries_[best])) best = left;
+      if (right < n && precedes(entries_[right], entries_[best])) best = right;
+      if (best == i) return;
+      swap_at(i, best);
+      i = best;
+    }
+  }
+
+  void remove_at(std::size_t i) {
+    index_.erase(entries_[i].key);
+    const std::size_t last = entries_.size() - 1;
+    if (i == last) {
+      entries_.pop_back();
+      return;
+    }
+    entries_[i] = std::move(entries_[last]);
+    entries_.pop_back();
+    index_[entries_[i].key] = i;
+    // The moved entry may need to travel either way relative to position i.
+    sift_down(i);
+    sift_up(i);
+  }
+
+  std::vector<Entry> entries_;
+  std::map<Key, std::size_t> index_;
+};
+
+}  // namespace jacepp::core

@@ -46,10 +46,13 @@ void SimDeployment::build() {
   linalg::simd::set_enabled(config_.perf.simd);
   linalg::set_sell_enabled(config_.perf.sell);
 
-  // --- Super-peer overlay (§5.1) ---
+  // --- Super-peer overlay (§5.1; count overridable via cp.super_peers) ---
+  const std::size_t sp_count = config_.cp.super_peers > 0
+                                   ? config_.cp.super_peers
+                                   : config_.super_peer_count;
   std::vector<SuperPeer*> super_peers;
-  for (std::size_t i = 0; i < config_.super_peer_count; ++i) {
-    auto sp = std::make_unique<SuperPeer>(config_.timing);
+  for (std::size_t i = 0; i < sp_count; ++i) {
+    auto sp = std::make_unique<SuperPeer>(config_.timing, config_.cp);
     SuperPeer* raw = sp.get();
     const net::Stub stub = world_->add_node(
         std::move(sp), sim::MachineSpec::super_peer_class(), net::EntityKind::SuperPeer);
@@ -69,7 +72,7 @@ void SimDeployment::build() {
   const auto specs = config_.fleet.draw(config_.daemon_count, fleet_rng);
   for (std::size_t i = 0; i < config_.daemon_count; ++i) {
     auto daemon = std::make_unique<Daemon>(super_peer_addresses_, config_.timing,
-                                           config_.perf);
+                                           config_.perf, config_.cp);
     const net::Stub stub =
         world_->add_node(std::move(daemon), specs[i], net::EntityKind::Daemon);
     daemon_nodes_.push_back(stub.node);
@@ -82,7 +85,7 @@ void SimDeployment::build() {
         completed_ = true;
         world_->request_stop();
       },
-      config_.timing);
+      config_.timing, config_.cp);
   spawner_ = spawner.get();
   const net::Stub spawner_stub = world_->add_node(
       std::move(spawner), sim::MachineSpec::spawner_class(), net::EntityKind::Spawner);
@@ -123,7 +126,8 @@ void SimDeployment::inject_disconnect() {
       if (world_->is_up(victim)) return;  // already revived (should not happen)
       world_->revive(victim, std::make_unique<Daemon>(super_peer_addresses_,
                                                       config_.timing,
-                                                      config_.perf));
+                                                      config_.perf,
+                                                      config_.cp));
       ++report_.reconnections_executed;
     });
   }

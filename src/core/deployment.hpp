@@ -27,6 +27,10 @@ struct SimDeploymentConfig {
   TimingConfig timing;
   CommConfig comm;                    ///< staleness-aware comm path knobs
   PerfConfig perf;                    ///< iteration hot-path knobs (§9)
+  /// Decentralized control plane knobs (§13). `cp.super_peers > 0` overrides
+  /// `super_peer_count`; defaults reproduce the centralized plane
+  /// bit-for-bit.
+  ControlPlaneConfig cp;
   /// Simulator knobs, including the sharded-scheduler scale controls
   /// `sim.shards` / `sim.worker_threads` (env fallback JACEPP_SIM_SHARDS;
   /// DESIGN.md §12). The default (shards = 0 → 1) is bit-identical to the

@@ -46,9 +46,12 @@ void RtDeployment::start() {
   linalg::set_sell_enabled(config_.perf.sell);
 
   // Super-peers first: their addresses seed every bootstrap list.
+  const std::size_t sp_count = config_.cp.super_peers > 0
+                                   ? config_.cp.super_peers
+                                   : config_.super_peer_count;
   std::vector<net::Stub> full_stubs;
-  for (std::size_t i = 0; i < config_.super_peer_count; ++i) {
-    auto sp = std::make_unique<SuperPeer>(config_.timing);
+  for (std::size_t i = 0; i < sp_count; ++i) {
+    auto sp = std::make_unique<SuperPeer>(config_.timing, config_.cp);
     const net::Stub stub =
         runtime_->add_node(std::move(sp), net::EntityKind::SuperPeer);
     super_peer_addresses_.push_back(stub.address());
@@ -62,7 +65,7 @@ void RtDeployment::start() {
 
   for (std::size_t i = 0; i < config_.daemon_count; ++i) {
     auto daemon = std::make_unique<Daemon>(super_peer_addresses_, config_.timing,
-                                           config_.perf);
+                                           config_.perf, config_.cp);
     const net::Stub stub =
         runtime_->add_node(std::move(daemon), net::EntityKind::Daemon);
     daemon_nodes_.push_back(stub.node);
@@ -77,7 +80,7 @@ void RtDeployment::start() {
         }
         done_cv_.notify_all();
       },
-      config_.timing);
+      config_.timing, config_.cp);
   const net::Stub stub =
       runtime_->add_node(std::move(spawner), net::EntityKind::Spawner);
   spawner_node_ = stub.node;

@@ -31,6 +31,9 @@ struct RtDeploymentConfig {
   TimingConfig timing = fast_rt_timing();
   CommConfig comm;  ///< staleness-aware comm path knobs (flush_window > 0 enables)
   PerfConfig perf;  ///< iteration hot-path knobs (§9)
+  /// Decentralized control plane knobs (§13). `cp.super_peers > 0` overrides
+  /// `super_peer_count`.
+  ControlPlaneConfig cp;
   std::uint64_t seed = 42;
 };
 

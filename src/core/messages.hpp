@@ -435,6 +435,120 @@ struct FinalState {
 };
 
 // ---------------------------------------------------------------------------
+// Decentralized control plane (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+/// Spawner → Super-Peer: store this Application Register replica (keep the
+/// highest version per app). Sent to the first `cp.replica_count` super-peers
+/// on every version change so a standby spawner can adopt the application
+/// after the primary dies.
+struct AppRegisterReplica {
+  static constexpr net::MessageType kType = 21;
+  AppRegister reg;
+
+  void serialize(serial::Writer& w) const { reg.serialize(w); }
+  static AppRegisterReplica deserialize(serial::Reader& r) {
+    return AppRegisterReplica{AppRegister::deserialize(r)};
+  }
+};
+
+/// Standby Spawner → Super-Peer: send me your replica of this app's register.
+struct FetchAppRegister {
+  static constexpr net::MessageType kType = 22;
+  AppId app_id = 0;
+
+  void serialize(serial::Writer& w) const { w.u32(app_id); }
+  static FetchAppRegister deserialize(serial::Reader& r) {
+    return FetchAppRegister{r.u32()};
+  }
+};
+
+/// Super-Peer → standby Spawner: the replica (or "none held").
+struct AppRegisterSnapshot {
+  static constexpr net::MessageType kType = 23;
+  bool available = false;
+  AppRegister reg;
+
+  void serialize(serial::Writer& w) const {
+    w.boolean(available);
+    reg.serialize(w);
+  }
+  static AppRegisterSnapshot deserialize(serial::Reader& r) {
+    AppRegisterSnapshot m;
+    m.available = r.boolean();
+    m.reg = AppRegister::deserialize(r);
+    return m;
+  }
+};
+
+/// Daemon → Daemon: diffusion-wave convergence token (DESIGN.md §13). The
+/// initiator (task 0's daemon) launches a wave when locally stable; each task
+/// holds the token until it is stable too, then forwards it around the task
+/// ring with `dirty` OR-ed with its own instability-since-last-pass flag.
+/// Two consecutive clean round trips certify global convergence.
+struct WaveToken {
+  static constexpr net::MessageType kType = 24;
+  AppId app_id = 0;
+  std::uint32_t wave_id = 0;
+  TaskId initiator = 0;
+  TaskId to_task = 0;
+  bool dirty = false;
+
+  void serialize(serial::Writer& w) const {
+    w.u32(app_id);
+    w.u32(wave_id);
+    w.u32(initiator);
+    w.u32(to_task);
+    w.boolean(dirty);
+  }
+  static WaveToken deserialize(serial::Reader& r) {
+    WaveToken m;
+    m.app_id = r.u32();
+    m.wave_id = r.u32();
+    m.initiator = r.u32();
+    m.to_task = r.u32();
+    m.dirty = r.boolean();
+    return m;
+  }
+};
+
+/// Initiator Daemon → Spawner: the diffusion protocol certified global
+/// convergence — the only convergence-detection message the spawner receives
+/// in `cp.diffusion` mode.
+struct ConvergedVerdict {
+  static constexpr net::MessageType kType = 25;
+  AppId app_id = 0;
+  std::uint32_t wave_id = 0;   ///< wave that completed the second clean round
+  std::uint32_t waves_run = 0; ///< total waves the initiator launched
+
+  void serialize(serial::Writer& w) const {
+    w.u32(app_id);
+    w.u32(wave_id);
+    w.u32(waves_run);
+  }
+  static ConvergedVerdict deserialize(serial::Reader& r) {
+    ConvergedVerdict m;
+    m.app_id = r.u32();
+    m.wave_id = r.u32();
+    m.waves_run = r.u32();
+    return m;
+  }
+};
+
+/// Spawner → Daemon: re-report your current local stability (sent by a
+/// standby spawner after adopting an application, to rebuild the centralized
+/// convergence board that died with the primary).
+struct StateProbe {
+  static constexpr net::MessageType kType = 26;
+  AppId app_id = 0;
+
+  void serialize(serial::Writer& w) const { w.u32(app_id); }
+  static StateProbe deserialize(serial::Reader& r) {
+    return StateProbe{r.u32()};
+  }
+};
+
+// ---------------------------------------------------------------------------
 // Delivery classes (net/link.hpp; DESIGN.md §8)
 // ---------------------------------------------------------------------------
 

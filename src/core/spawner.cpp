@@ -3,14 +3,17 @@
 #include <algorithm>
 
 #include "core/periodic.hpp"
+#include "core/shard.hpp"
 #include "support/logging.hpp"
 
 namespace jacepp::core {
 
 Spawner::Spawner(AppDescriptor app, std::vector<net::Stub> bootstrap_addresses,
-                 CompletionCallback on_complete, TimingConfig timing)
+                 CompletionCallback on_complete, TimingConfig timing,
+                 ControlPlaneConfig cp)
     : app_(std::move(app)),
       timing_(timing),
+      cp_(cp),
       bootstrap_addresses_(std::move(bootstrap_addresses)),
       on_complete_(std::move(on_complete)) {
   JACEPP_CHECK(app_.task_count > 0, "Spawner: application needs >= 1 task");
@@ -29,7 +32,10 @@ Spawner::Spawner(AppDescriptor app, std::vector<net::Stub> bootstrap_addresses,
   dispatcher_.on<msg::Heartbeat>(
       [this](const msg::Heartbeat&, const net::Message& raw, net::Env& env) {
         const auto it = task_of_daemon_.find(raw.from);
-        if (it != task_of_daemon_.end()) last_heartbeat_[it->second] = env.now();
+        if (it != task_of_daemon_.end()) {
+          last_heartbeat_[it->second] = env.now();
+          awaiting_first_heartbeat_.erase(it->second);
+        }
       });
   dispatcher_.on<msg::LocalStateReport>(
       [this](const msg::LocalStateReport& m, const net::Message& raw, net::Env&) {
@@ -39,6 +45,32 @@ Spawner::Spawner(AppDescriptor app, std::vector<net::Stub> bootstrap_addresses,
       [this](const msg::FinalState& m, const net::Message&, net::Env&) {
         handle_final_state(m);
       });
+  dispatcher_.on<msg::ConvergedVerdict>(
+      [this](const msg::ConvergedVerdict& m, const net::Message& raw,
+             net::Env&) {
+        // Diffusion mode (DESIGN.md §13): the wave initiator certified global
+        // convergence. Accept only from the current owner of task 0, and only
+        // while the task ring is whole — a verdict racing a failure is stale.
+        if (!cp_.diffusion || m.app_id != app_.app_id || !launched_ ||
+            halt_broadcast_ || reg_.daemon_of(0) != raw.from ||
+            !awaiting_replacement_.empty()) {
+          return;
+        }
+        ++verdicts_received_;
+        broadcast_halt();
+      });
+  dispatcher_.on<msg::AppRegisterSnapshot>(
+      [this](const msg::AppRegisterSnapshot& m, const net::Message&,
+             net::Env&) {
+        if (!standby_ || adopted_ || !m.available ||
+            m.reg.app_id != app_.app_id) {
+          return;
+        }
+        if (!have_snapshot_ || m.reg.version > snapshot_.version) {
+          snapshot_ = m.reg;
+          have_snapshot_ = true;
+        }
+      });
 }
 
 void Spawner::on_start(net::Env& env) {
@@ -46,14 +78,26 @@ void Spawner::on_start(net::Env& env) {
   reg_.app_id = app_.app_id;
   reg_.spawner = env.self();
 
-  request_daemons(app_.task_count);
+  if (standby_) {
+    // Failover path: adopt a replicated register instead of launching.
+    begin_recover();
+    return;
+  }
 
+  request_daemons(app_.task_count);
+  arm_watchdogs();
+}
+
+void Spawner::arm_watchdogs() {
   // Reservation watchdog: while the launch (or a replacement) is short of
   // daemons and no request is in flight, ask again — daemons may have joined
-  // the super-peer registers in the meantime.
-  arm_periodic(env, timing_.reserve_retry, [this]() -> bool {
+  // the super-peer registers in the meantime. Stale pool entries (daemon
+  // crashed after ReserveReply; cp.reservation_ttl) are written off first so
+  // they stop masking the shortfall.
+  arm_periodic(*env_, timing_.reserve_retry, [this]() -> bool {
     if (finished_) return false;
     expire_stale_requests();
+    expire_pool(env_->now());
     std::uint32_t needed = 0;
     if (!launched_) {
       const auto have = static_cast<std::uint32_t>(pool_.size());
@@ -73,7 +117,7 @@ void Spawner::on_start(net::Env& env) {
 
   // Heartbeat sweep for computing daemons (§5.3). The sweep also re-checks
   // the halt condition, since maybe_halt() can defer on a stale heartbeat.
-  arm_periodic(env, timing_.sweep_period, [this]() -> bool {
+  arm_periodic(*env_, timing_.sweep_period, [this]() -> bool {
     if (finished_) return false;
     if (launched_ && !halt_broadcast_) {
       sweep_heartbeats();
@@ -102,11 +146,25 @@ void Spawner::request_daemons(std::uint32_t count) {
   request.count = count;
   request.requester = env_->self();
   // Bootstrap: pick a random super-peer address (§5.1, same strategy as the
-  // daemons). If it is down the reservation watchdog retries elsewhere.
-  const net::Stub& entry_point =
-      bootstrap_addresses_[env_->rng().index(bootstrap_addresses_.size())];
-  rmi::invoke(*env_, entry_point, request);
+  // daemons) — or, with the sharded register, spread requests over the
+  // overlay by request id so no one super-peer fields all reservation
+  // traffic. If the entry point is down the watchdog retries elsewhere.
+  const std::size_t n = bootstrap_addresses_.size();
+  const std::size_t pick = cp_.shard_register
+                               ? shard_of(request.request_id, n)
+                               : env_->rng().index(n);
+  rmi::invoke(*env_, bootstrap_addresses_[pick], request);
   pending_requests_[request.request_id] = PendingRequest{count, env_->now()};
+}
+
+void Spawner::expire_pool(double now) {
+  if (cp_.reservation_ttl <= 0.0) return;
+  const double cutoff = now - cp_.reservation_ttl;
+  const std::size_t before = pool_.size();
+  std::erase_if(pool_, [&](const PooledDaemon& p) {
+    return p.reserved_at < cutoff;
+  });
+  reservations_expired_ += before - pool_.size();
 }
 
 std::uint32_t Spawner::outstanding_requested() const {
@@ -141,7 +199,9 @@ void Spawner::handle_reserve_reply(const msg::ReserveReply& m) {
       pending->second.remaining -= granted;
     }
   }
-  for (const net::Stub& daemon : m.daemons) pool_.push_back(daemon);
+  for (const net::Stub& daemon : m.daemons) {
+    pool_.push_back(PooledDaemon{daemon, env_->now()});
+  }
 
   if (!launched_) {
     try_launch();
@@ -150,7 +210,7 @@ void Spawner::handle_reserve_reply(const msg::ReserveReply& m) {
     while (!awaiting_replacement_.empty() && !pool_.empty()) {
       const TaskId task = awaiting_replacement_.front();
       awaiting_replacement_.pop_front();
-      const net::Stub daemon = pool_.front();
+      const net::Stub daemon = pool_.front().stub;
       pool_.erase(pool_.begin());
       assign_task(task, daemon, /*restart=*/true);
       ++report_.replacements;
@@ -175,10 +235,13 @@ void Spawner::try_launch() {
   for (TaskId task = 0; task < app_.task_count; ++task) {
     TaskEntry entry;
     entry.task_id = task;
-    entry.daemon = pool_[task];
+    entry.daemon = pool_[task].stub;
     reg_.tasks.push_back(entry);
-    task_of_daemon_[pool_[task]] = task;
+    task_of_daemon_[pool_[task].stub] = task;
     last_heartbeat_[task] = env_->now();
+    if (cp_.assign_ack_timeout > 0.0) {
+      awaiting_first_heartbeat_[task] = env_->now();
+    }
   }
   pool_.erase(pool_.begin(), pool_.begin() + app_.task_count);
 
@@ -190,6 +253,7 @@ void Spawner::try_launch() {
     assignment.restart = false;
     rmi::invoke(*env_, entry.daemon, assignment);
   }
+  replicate_register();
   JACEPP_LOG(Info, "spawner", "application %u launched on %u daemons at %.3f",
              app_.app_id, app_.task_count, env_->now());
 }
@@ -202,6 +266,9 @@ void Spawner::assign_task(TaskId task, const net::Stub& daemon, bool restart) {
   }
   task_of_daemon_[daemon] = task;
   last_heartbeat_[task] = env_->now();
+  if (cp_.assign_ack_timeout > 0.0) {
+    awaiting_first_heartbeat_[task] = env_->now();
+  }
   board_.invalidate(task);
 
   msg::TaskAssignment assignment;
@@ -222,24 +289,114 @@ void Spawner::broadcast_register() {
       rmi::invoke(*env_, entry.daemon, update);
     }
   }
+  replicate_register();
+}
+
+void Spawner::replicate_register() {
+  // Push the Application Register to the first `replica_count` super-peers on
+  // every version change (DESIGN.md §13). They keep the highest version, so
+  // replicas racing each other or a failover are harmless.
+  if (!cp_.replicate_register) return;
+  msg::AppRegisterReplica replica;
+  replica.reg = reg_;
+  const std::size_t n = std::min<std::size_t>(
+      std::max<std::uint32_t>(cp_.replica_count, 1u),
+      bootstrap_addresses_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    rmi::invoke(*env_, bootstrap_addresses_[i], replica);
+  }
+}
+
+void Spawner::begin_recover() {
+  // Ask every replica-holding super-peer for its snapshot, then adopt the
+  // highest version seen after a collection window; keep trying while the
+  // replica has not surfaced yet (the primary may not have pushed one before
+  // dying — adoption is only possible once a launch was replicated).
+  const std::size_t n = std::min<std::size_t>(
+      std::max<std::uint32_t>(cp_.replica_count, 1u),
+      bootstrap_addresses_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    rmi::invoke(*env_, bootstrap_addresses_[i],
+                msg::FetchAppRegister{app_.app_id});
+  }
+  env_->schedule(timing_.bootstrap_retry, [this] {
+    if (finished_ || adopted_) return;
+    if (have_snapshot_) {
+      adopt();
+    } else {
+      begin_recover();
+    }
+  });
+}
+
+void Spawner::adopt() {
+  adopted_ = true;
+  launched_ = true;
+  report_.launch_time = env_->now();
+  reg_ = snapshot_;
+  reg_.spawner = env_->self();
+  ++reg_.version;
+
+  task_of_daemon_.clear();
+  for (const TaskEntry& entry : reg_.tasks) {
+    if (entry.daemon.valid()) task_of_daemon_[entry.daemon] = entry.task_id;
+    // Heartbeat grace from adoption time; daemons re-target their heartbeats
+    // as soon as the register broadcast reaches them.
+    last_heartbeat_[entry.task_id] = env_->now();
+    board_.invalidate(entry.task_id);
+  }
+  broadcast_register();
+  if (!cp_.diffusion) {
+    // Rebuild the centralized convergence board the primary took with it.
+    // (Diffusion mode needs nothing: the initiator re-sends its verdict to
+    // reg_.spawner until the halt arrives.)
+    for (const TaskEntry& entry : reg_.tasks) {
+      if (entry.daemon.valid()) {
+        rmi::invoke(*env_, entry.daemon, msg::StateProbe{app_.app_id});
+      }
+    }
+  }
+  arm_watchdogs();
+  JACEPP_LOG(Info, "spawner",
+             "standby adopted application %u at version %llu (%.3f)",
+             app_.app_id, static_cast<unsigned long long>(reg_.version),
+             env_->now());
 }
 
 void Spawner::sweep_heartbeats() {
   const double deadline = env_->now() - timing_.daemon_timeout;
+  const double ack_deadline = env_->now() - cp_.assign_ack_timeout;
   bool changed = false;
   for (TaskEntry& entry : reg_.tasks) {
     if (!entry.daemon.valid()) continue;  // already awaiting replacement
     const auto hb = last_heartbeat_.find(entry.task_id);
-    if (hb != last_heartbeat_.end() && hb->second < deadline) {
+    const bool timed_out =
+        hb != last_heartbeat_.end() && hb->second < deadline;
+    // NACK window (cp.assign_ack_timeout): an assignment whose daemon never
+    // heartbeated at all — it crashed between ReserveReply and the assignment
+    // — is retried early instead of waiting out the full daemon_timeout.
+    bool nacked = false;
+    if (!timed_out && cp_.assign_ack_timeout > 0.0) {
+      const auto ack = awaiting_first_heartbeat_.find(entry.task_id);
+      nacked = ack != awaiting_first_heartbeat_.end() &&
+               ack->second < ack_deadline;
+    }
+    if (timed_out || nacked) {
       JACEPP_LOG(Info, "spawner",
-                 "daemon %s (task %u) timed out at %.3f; scheduling replacement",
+                 "daemon %s (task %u) %s at %.3f; scheduling replacement",
                  entry.daemon.to_debug_string().c_str(), entry.task_id,
+                 nacked ? "never acknowledged its assignment" : "timed out",
                  env_->now());
       task_of_daemon_.erase(entry.daemon);
       entry.daemon = net::Stub{};
+      awaiting_first_heartbeat_.erase(entry.task_id);
       board_.invalidate(entry.task_id);
       awaiting_replacement_.push_back(entry.task_id);
-      ++report_.failures_detected;
+      if (nacked) {
+        ++assign_nacks_;
+      } else {
+        ++report_.failures_detected;
+      }
       ++reg_.version;
       changed = true;
     }
@@ -346,7 +503,7 @@ void Spawner::serve_final_recovery() {
   while (!awaiting_final_recovery_.empty() && !pool_.empty()) {
     const TaskId task = awaiting_final_recovery_.front();
     awaiting_final_recovery_.pop_front();
-    const net::Stub daemon = pool_.front();
+    const net::Stub daemon = pool_.front().stub;
     pool_.erase(pool_.begin());
 
     ++reg_.version;

@@ -65,14 +65,28 @@ class Spawner : public net::Actor {
   /// `bootstrap_addresses`: super-peer address stubs (like the daemons').
   /// `on_complete` fires exactly once, after halt + final-state collection.
   Spawner(AppDescriptor app, std::vector<net::Stub> bootstrap_addresses,
-          CompletionCallback on_complete, TimingConfig timing = {});
+          CompletionCallback on_complete, TimingConfig timing = {},
+          ControlPlaneConfig cp = {});
 
   void on_start(net::Env& env) override;
   void on_message(const net::Message& message, net::Env& env) override;
 
+  /// Standby mode (DESIGN.md §13; requires `cp.replicate_register` on the
+  /// primary): instead of reserving daemons and launching, this spawner
+  /// fetches the replicated Application Register from the super-peers, adopts
+  /// the running application (version bump + register broadcast re-targets
+  /// the daemons), and carries it to completion. Call before the entity
+  /// starts.
+  void set_standby(bool standby) { standby_ = standby; }
+
   // --- Introspection ---
   [[nodiscard]] bool launched() const { return launched_; }
   [[nodiscard]] bool halted() const { return halt_broadcast_; }
+  [[nodiscard]] bool adopted() const { return adopted_; }
+  [[nodiscard]] std::size_t pool_size() const { return pool_.size(); }
+  [[nodiscard]] std::uint64_t reservations_expired() const { return reservations_expired_; }
+  [[nodiscard]] std::uint64_t assign_nacks() const { return assign_nacks_; }
+  [[nodiscard]] std::uint64_t verdicts_received() const { return verdicts_received_; }
   [[nodiscard]] const AppRegister& app_register() const { return reg_; }
   [[nodiscard]] const SpawnerReport& report() const { return report_; }
   [[nodiscard]] std::size_t pending_replacements() const {
@@ -82,11 +96,16 @@ class Spawner : public net::Actor {
   [[nodiscard]] std::vector<net::Stub> computing_daemons() const;
 
  private:
+  void arm_watchdogs();
   void request_daemons(std::uint32_t count);
   void handle_reserve_reply(const msg::ReserveReply& m);
+  void expire_pool(double now);
   void try_launch();
   void assign_task(TaskId task, const net::Stub& daemon, bool restart);
   void broadcast_register();
+  void replicate_register();
+  void begin_recover();
+  void adopt();
   void sweep_heartbeats();
   void handle_local_state(const msg::LocalStateReport& m, const net::Message& raw);
   void maybe_halt();
@@ -98,6 +117,7 @@ class Spawner : public net::Actor {
 
   AppDescriptor app_;
   TimingConfig timing_;
+  ControlPlaneConfig cp_;
   std::vector<net::Stub> bootstrap_addresses_;
   CompletionCallback on_complete_;
   rmi::Dispatcher dispatcher_;
@@ -115,15 +135,37 @@ class Spawner : public net::Actor {
 
   std::uint32_t next_request_id_ = 1;
   std::map<std::uint32_t, PendingRequest> pending_requests_;
-  std::vector<net::Stub> pool_;              ///< reserved, not yet assigned
+
+  /// Reserved, not yet assigned. `reserved_at` feeds the reservation TTL
+  /// (cp.reservation_ttl): a pooled daemon that crashed after ReserveReply
+  /// would otherwise inflate `have` forever and stall launch/replacement.
+  struct PooledDaemon {
+    net::Stub stub;
+    double reserved_at = 0.0;
+  };
+  std::vector<PooledDaemon> pool_;
 
   // Application state.
   bool launched_ = false;
   AppRegister reg_;
   std::map<net::Stub, TaskId> task_of_daemon_;
   std::map<TaskId, double> last_heartbeat_;
+  /// Freshly assigned tasks whose daemon has not heartbeated yet
+  /// (cp.assign_ack_timeout): a daemon that died between ReserveReply and the
+  /// assignment is NACKed and replaced without waiting out daemon_timeout.
+  std::map<TaskId, double> awaiting_first_heartbeat_;
   std::deque<TaskId> awaiting_replacement_;  ///< failed tasks needing a daemon
   asynciter::GlobalConvergenceBoard board_;
+
+  // Standby / failover state (DESIGN.md §13).
+  bool standby_ = false;
+  bool adopted_ = false;
+  bool have_snapshot_ = false;
+  AppRegister snapshot_;
+
+  std::uint64_t reservations_expired_ = 0;
+  std::uint64_t assign_nacks_ = 0;
+  std::uint64_t verdicts_received_ = 0;
 
   // Termination state.
   bool halt_broadcast_ = false;

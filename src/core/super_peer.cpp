@@ -6,7 +6,8 @@
 
 namespace jacepp::core {
 
-SuperPeer::SuperPeer(TimingConfig timing) : timing_(timing) {
+SuperPeer::SuperPeer(TimingConfig timing, ControlPlaneConfig cp)
+    : timing_(timing), cp_(cp) {
   dispatcher_.on<msg::RegisterDaemon>(
       [this](const msg::RegisterDaemon& m, const net::Message&, net::Env& env) {
         handle_register(m, env);
@@ -23,6 +24,12 @@ SuperPeer::SuperPeer(TimingConfig timing) : timing_(timing) {
       [this](const msg::ReserveRequest& m, const net::Message&, net::Env& env) {
         handle_reserve(m, env);
       });
+  dispatcher_.on<msg::AppRegisterReplica>(
+      [this](const msg::AppRegisterReplica& m, const net::Message&,
+             net::Env& env) { handle_replica(m, env); });
+  dispatcher_.on<msg::FetchAppRegister>(
+      [this](const msg::FetchAppRegister& m, const net::Message& raw,
+             net::Env& env) { handle_fetch(m, raw, env); });
 }
 
 void SuperPeer::on_start(net::Env& env) {
@@ -48,8 +55,14 @@ bool SuperPeer::has_registered(const net::Stub& daemon) const {
   return register_.count(daemon) != 0;
 }
 
+std::uint64_t SuperPeer::replica_version(AppId app_id) const {
+  const auto it = replicas_.find(app_id);
+  return it == replicas_.end() ? 0 : it->second.version;
+}
+
 void SuperPeer::handle_register(const msg::RegisterDaemon& m, net::Env& env) {
   register_[m.daemon] = env.now();
+  deadlines_.bump(m.daemon, env.now());
   rmi::invoke(env, m.daemon, msg::RegisterAck{env.self()});
   JACEPP_LOG(Debug, "super-peer", "%s registered %s",
              env.self().to_debug_string().c_str(),
@@ -63,6 +76,7 @@ void SuperPeer::handle_heartbeat(const net::Message& raw, net::Env& env) {
   const auto it = register_.find(raw.from);
   if (it == register_.end()) return;
   it->second = env.now();
+  deadlines_.bump(raw.from, env.now());
   rmi::invoke(env, raw.from, msg::HeartbeatAck{});
 }
 
@@ -79,6 +93,7 @@ void SuperPeer::handle_reserve(const msg::ReserveRequest& m, net::Env& env) {
   while (granted.size() < m.count && !register_.empty()) {
     const auto it = register_.begin();
     granted.push_back(it->first);
+    deadlines_.erase(it->first);
     register_.erase(it);
   }
   for (const net::Stub& daemon : granted) {
@@ -94,14 +109,18 @@ void SuperPeer::handle_reserve(const msg::ReserveRequest& m, net::Env& env) {
     // (paper Figure 2: SP1 reserves the third daemon on SP2).
     auto visited = m.visited;
     visited.push_back(env.self());
+    const bool depth_ok = cp_.max_forward_depth == 0 ||
+                          visited.size() < cp_.max_forward_depth;
     const net::Stub* next = nullptr;
-    for (const net::Stub& peer : peers_) {
-      const bool seen =
-          std::any_of(visited.begin(), visited.end(),
-                      [&](const net::Stub& v) { return v.node == peer.node; });
-      if (!seen) {
-        next = &peer;
-        break;
+    if (depth_ok) {
+      for (const net::Stub& peer : peers_) {
+        const bool seen = std::any_of(
+            visited.begin(), visited.end(),
+            [&](const net::Stub& v) { return v.node == peer.node; });
+        if (!seen) {
+          next = &peer;
+          break;
+        }
       }
     }
     if (next != nullptr) {
@@ -113,7 +132,10 @@ void SuperPeer::handle_reserve(const msg::ReserveRequest& m, net::Env& env) {
       rmi::invoke(env, *next, forward);
       ++requests_forwarded_;
     } else {
-      exhausted = true;  // whole overlay visited; requester must retry later
+      // Whole overlay visited (or the forwarding-depth budget is spent);
+      // the requester must retry later.
+      if (depth_ok == false) ++requests_depth_bounded_;
+      exhausted = true;
     }
   }
 
@@ -126,18 +148,31 @@ void SuperPeer::handle_reserve(const msg::ReserveRequest& m, net::Env& env) {
   }
 }
 
-void SuperPeer::sweep(net::Env& env) {
-  const double deadline = env.now() - timing_.daemon_timeout;
-  for (auto it = register_.begin(); it != register_.end();) {
-    if (it->second < deadline) {
-      JACEPP_LOG(Debug, "super-peer", "sweeping dead daemon %s",
-                 it->first.to_debug_string().c_str());
-      it = register_.erase(it);
-      ++daemons_swept_;
-    } else {
-      ++it;
-    }
+void SuperPeer::handle_replica(const msg::AppRegisterReplica& m, net::Env&) {
+  auto [it, inserted] = replicas_.try_emplace(m.reg.app_id, m.reg);
+  if (!inserted && m.reg.version > it->second.version) it->second = m.reg;
+}
+
+void SuperPeer::handle_fetch(const msg::FetchAppRegister& m,
+                             const net::Message& raw, net::Env& env) {
+  msg::AppRegisterSnapshot reply;
+  const auto it = replicas_.find(m.app_id);
+  if (it != replicas_.end()) {
+    reply.available = true;
+    reply.reg = it->second;
   }
+  rmi::invoke(env, raw.from, reply);
+}
+
+void SuperPeer::sweep(net::Env& env) {
+  // Heap keys are last-heartbeat times, so the cutoff mirrors the original
+  // linear scan's `last < now - timeout` test bit-for-bit.
+  const double deadline = env.now() - timing_.daemon_timeout;
+  daemons_swept_ += deadlines_.expire(deadline, [&](const net::Stub& daemon) {
+    JACEPP_LOG(Debug, "super-peer", "sweeping dead daemon %s",
+               daemon.to_debug_string().c_str());
+    register_.erase(daemon);
+  });
 }
 
 }  // namespace jacepp::core

@@ -2,13 +2,21 @@
 // network. Indexes available daemons in its Register, answers reservation
 // requests (filling locally, forwarding the shortfall across the super-peer
 // overlay), and sweeps out daemons whose heartbeats stop.
+//
+// Decentralized control plane (DESIGN.md §13): the sweep runs off an indexed
+// deadline min-heap (O(expired·log n) instead of an O(n) walk),
+// reservation forwarding can be depth-bounded (`cp.max_forward_depth`), and
+// the super-peer stores Application Register replicas pushed by the spawner
+// so a standby spawner can adopt a running application.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <vector>
 
+#include "core/app.hpp"
 #include "core/config.hpp"
+#include "core/deadline_heap.hpp"
 #include "core/messages.hpp"
 #include "net/env.hpp"
 #include "rmi/rmi.hpp"
@@ -17,7 +25,7 @@ namespace jacepp::core {
 
 class SuperPeer : public net::Actor {
  public:
-  explicit SuperPeer(TimingConfig timing = {});
+  explicit SuperPeer(TimingConfig timing = {}, ControlPlaneConfig cp = {});
 
   void on_start(net::Env& env) override;
   void on_message(const net::Message& message, net::Env& env) override;
@@ -33,25 +41,39 @@ class SuperPeer : public net::Actor {
   [[nodiscard]] const std::vector<net::Stub>& linked_peers() const { return peers_; }
   [[nodiscard]] std::uint64_t reservations_served() const { return reservations_served_; }
   [[nodiscard]] std::uint64_t requests_forwarded() const { return requests_forwarded_; }
+  [[nodiscard]] std::uint64_t requests_depth_bounded() const { return requests_depth_bounded_; }
   [[nodiscard]] std::uint64_t daemons_swept() const { return daemons_swept_; }
+  [[nodiscard]] bool has_replica(AppId app_id) const { return replicas_.count(app_id) != 0; }
+  [[nodiscard]] std::uint64_t replica_version(AppId app_id) const;
 
  private:
   void handle_register(const msg::RegisterDaemon& m, net::Env& env);
   void handle_heartbeat(const net::Message& raw, net::Env& env);
   void handle_link(const msg::LinkSuperPeers& m, net::Env& env);
   void handle_reserve(const msg::ReserveRequest& m, net::Env& env);
+  void handle_replica(const msg::AppRegisterReplica& m, net::Env& env);
+  void handle_fetch(const msg::FetchAppRegister& m, const net::Message& raw,
+                    net::Env& env);
   void sweep(net::Env& env);
 
   TimingConfig timing_;
+  ControlPlaneConfig cp_;
   rmi::Dispatcher dispatcher_;
   net::Env* env_ = nullptr;
 
-  /// The Register (paper Figure 1): daemon stub → last heartbeat time.
+  /// The Register (paper Figure 1): daemon stub → last heartbeat time. The
+  /// map stays the source of truth (FIFO grant order is its iteration order);
+  /// the heap only indexes expiry deadlines for the sweep.
   std::map<net::Stub, double> register_;
+  DeadlineHeap<net::Stub> deadlines_;
   std::vector<net::Stub> peers_;  ///< linked super-peers (overlay)
+
+  /// Application Register replicas (spawner failover; DESIGN.md §13).
+  std::map<AppId, AppRegister> replicas_;
 
   std::uint64_t reservations_served_ = 0;
   std::uint64_t requests_forwarded_ = 0;
+  std::uint64_t requests_depth_bounded_ = 0;
   std::uint64_t daemons_swept_ = 0;
 };
 
