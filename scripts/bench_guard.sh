@@ -39,6 +39,14 @@
 #         traffic at O(1) per application (spawner_conv_msgs <= bound),
 #     (c) the decentralized plane must replay bit-identically across
 #         scheduler shard counts (cp_determinism.ok).
+#  5. Churn / voting floors (DESIGN.md §14) — also inside BENCH_scale.json.
+#     All sim-time counters on a pinned seed, so deterministic and
+#     machine-portable:
+#     (a) reputation-aware placement must not increase the replacement count
+#         vs random placement on the committed churn ablation, and must not
+#         increase sim execution time beyond the recorded tolerance,
+#     (b) redundant-execution voting (rep.redundancy=3) must flag exactly the
+#         injected liars — every liar caught, zero false positives.
 #
 # Usage: scripts/bench_guard.sh BENCH_micro.json [BENCH_hotpath.json ...]
 #        BENCH_GUARD_STRICT=1 BENCH_GUARD_SKIP_BASELINE=1 scripts/bench_guard.sh BENCH_hotpath.json
@@ -120,6 +128,23 @@ cp_floor_checks() {
   ' "${file}" 2>/dev/null
 }
 
+# Churn / voting floors (see header, check 5). Pinned-seed sim-time counters,
+# so deterministic across machines; no tolerance knob beyond the recorded one.
+churn_floor_checks() {
+  local file="$1"
+  jq -r '
+    ((.churn_floor // empty)
+      | select(.rep_replacements > .random_replacements)
+      | "bench-guard: FLOOR churn/replacements: reputation placement \(.rep_replacements) above random \(.random_replacements)"),
+    ((.churn_floor // empty)
+      | select(.rep_exec_s > .random_exec_s * .exec_tolerance)
+      | "bench-guard: FLOOR churn/exec_time: reputation \(.rep_exec_s)s above random \(.random_exec_s)s x \(.exec_tolerance)"),
+    ((.voting_floor // empty)
+      | select(.ok != true)
+      | "bench-guard: FLOOR voting/detection: redundancy-\(.redundancy) voting did not flag exactly the injected liars")
+  ' "${file}" 2>/dev/null
+}
+
 # Sharded-scheduler floor (see header, check 3). Within-run ratio, so it is
 # machine-portable; tolerance-adjusted because the 1k tier sits at parity.
 scale_floor_checks() {
@@ -164,6 +189,13 @@ for file in "$@"; do
       total_warnings=$((total_warnings + $(echo "${cp_violations}" | wc -l)))
     else
       echo "bench-guard: ${name}: control-plane floors hold"
+    fi
+    churn_violations="$(churn_floor_checks "${file}")"
+    if [[ -n "${churn_violations}" ]]; then
+      echo "${churn_violations}"
+      total_warnings=$((total_warnings + $(echo "${churn_violations}" | wc -l)))
+    else
+      echo "bench-guard: ${name}: churn placement and voting floors hold"
     fi
   fi
 

@@ -1,0 +1,93 @@
+// Adversarial-worker harness (DESIGN.md §14): a lying daemon.
+//
+// The simulator's fault injection covers crash-stop (disconnect) and slow
+// peers (SimWorld::throttle); this file adds the third leg of the fault
+// taxonomy — peers that *lie*. A LyingWorker wraps an honest Daemon actor and
+// interposes a CorruptingEnv between it and the real environment. The wrapped
+// daemon runs the genuine protocol code; only its outgoing results are
+// forged:
+//
+//   * AuditReply — the digest is XOR-perturbed, so the liar is outvoted in a
+//     redundant-execution verification round (rep.redundancy >= 2);
+//   * TaskData — one payload byte is flipped, modelling a worker that pollutes
+//     its neighbours' dependency data.
+//
+// Corruption draws come from a dedicated seeded Rng, so churn traces with
+// liars replay bit-for-bit. The forged body has the same length as the honest
+// one, so timing (wire cost, bandwidth) is unchanged — a lying peer is
+// indistinguishable from an honest one until a vote catches it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "net/env.hpp"
+#include "support/rng.hpp"
+
+namespace jacepp::core {
+
+class CorruptingEnv : public net::Env {
+ public:
+  CorruptingEnv(net::Env& inner, std::uint64_t seed, double lie_rate)
+      : inner_(&inner), lie_rng_(seed), lie_rate_(lie_rate) {}
+
+  [[nodiscard]] double now() const override { return inner_->now(); }
+  [[nodiscard]] net::Stub self() const override { return inner_->self(); }
+  void send(const net::Stub& to, net::Message m) override;
+  net::TimerId schedule(double delay, std::function<void()> fn) override {
+    return inner_->schedule(delay, std::move(fn));
+  }
+  void cancel(net::TimerId timer) override { inner_->cancel(timer); }
+  void compute(std::function<double()> work,
+               std::function<void()> done) override {
+    inner_->compute(std::move(work), std::move(done));
+  }
+  Rng& rng() override { return inner_->rng(); }
+  void shutdown_self() override { inner_->shutdown_self(); }
+
+  [[nodiscard]] std::uint64_t corruptions() const { return corruptions_; }
+
+ private:
+  net::Env* inner_;
+  Rng lie_rng_;  ///< dedicated stream: lies never perturb protocol draws
+  double lie_rate_;
+  std::uint64_t corruptions_ = 0;
+};
+
+/// Actor wrapper: hosts any inner actor (in practice a core::Daemon) behind a
+/// CorruptingEnv. Drop-in replacement wherever an Actor* is deployed.
+class LyingWorker : public net::Actor {
+ public:
+  LyingWorker(std::unique_ptr<net::Actor> inner, std::uint64_t seed,
+              double lie_rate)
+      : inner_(std::move(inner)), seed_(seed), lie_rate_(lie_rate) {}
+
+  void on_start(net::Env& env) override {
+    wrapper_.emplace(env, seed_, lie_rate_);
+    inner_->on_start(*wrapper_);
+  }
+  void on_message(const net::Message& message, net::Env& env) override {
+    if (!wrapper_.has_value()) wrapper_.emplace(env, seed_, lie_rate_);
+    inner_->on_message(message, *wrapper_);
+  }
+  void on_stop(net::Env& env) override {
+    if (!wrapper_.has_value()) wrapper_.emplace(env, seed_, lie_rate_);
+    inner_->on_stop(*wrapper_);
+  }
+
+  [[nodiscard]] net::Actor* inner() { return inner_.get(); }
+  [[nodiscard]] std::uint64_t corruptions() const {
+    return wrapper_.has_value() ? wrapper_->corruptions() : 0;
+  }
+
+ private:
+  std::unique_ptr<net::Actor> inner_;
+  std::uint64_t seed_;
+  double lie_rate_;
+  std::optional<CorruptingEnv> wrapper_;
+};
+
+}  // namespace jacepp::core

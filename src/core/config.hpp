@@ -87,6 +87,34 @@ struct ControlPlaneConfig {
   double assign_ack_timeout = 1.5;
 };
 
+/// Reputation and redundant-execution knobs (DESIGN.md §14). Defaults keep
+/// every path off: no scores are kept, reservation grants stay FIFO, backup
+/// placement stays round-robin and no verification round runs — bit-identical
+/// to the pre-§14 behaviour (golden-pinned in tests/core/test_churn.cpp).
+struct ReputationConfig {
+  /// Keep EWMA availability/speed scores per daemon (super-peer side, fed by
+  /// heartbeats, sweeps and spawner reports) and grant reservations in
+  /// descending-score order instead of FIFO. The spawner mirrors the scores
+  /// it observes and prefers high-scoring pooled daemons for launch slots and
+  /// replacements.
+  bool enabled = false;
+  double ewma_alpha = 0.25;     ///< smoothing for availability/speed updates
+  double initial_score = 0.5;   ///< neutral prior for never-observed peers
+  double speed_weight = 0.25;   ///< speed's share of the placement score
+  /// Reputation-ranked backup-peer placement (extends PR 2's adaptive
+  /// checkpointing): the spawner broadcasts a ranking of tasks by their
+  /// daemon's score and daemons save checkpoints to the top-ranked peers
+  /// instead of the round-robin neighbours. Requires `enabled`.
+  bool backup_placement = false;
+  /// Redundant-execution verification round (Davtyan et al.): before halting,
+  /// the spawner challenges k daemons per task with a deterministic re-run,
+  /// majority-votes the result digests and demotes outvoted peers as liars.
+  /// 0 or 1 disables voting.
+  std::uint32_t redundancy = 0;
+  std::uint32_t audit_iterations = 3;  ///< iterations per audit re-run
+  double audit_timeout = 2.0;          ///< close the vote after this long
+};
+
 /// Knobs for the staleness-aware comm path (net/link.hpp; DESIGN.md §8).
 /// Defaults keep the link layer dormant — `flush_window == 0` (and
 /// `serialize_links == false`) means both transports bypass it entirely and

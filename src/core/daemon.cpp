@@ -179,6 +179,13 @@ Daemon::Daemon(std::vector<net::Stub> bootstrap_addresses, TimingConfig timing,
       [this](const msg::WaveToken& m, const net::Message&, net::Env&) {
         handle_wave_token(m);
       });
+  dispatcher_.on<msg::AuditChallenge>(
+      [this](const msg::AuditChallenge& m, const net::Message& raw,
+             net::Env& env) { handle_audit_challenge(m, raw, env); });
+  dispatcher_.on<msg::BackupPlacement>(
+      [this](const msg::BackupPlacement& m, const net::Message&, net::Env&) {
+        apply_backup_placement(m);
+      });
   dispatcher_.on<msg::StateProbe>(
       [this](const msg::StateProbe& m, const net::Message& raw, net::Env& env) {
         // A standby spawner rebuilding its convergence board after adopting
@@ -277,6 +284,7 @@ void Daemon::handle_assignment(const msg::TaskAssignment& m) {
   reg_ = m.reg;
   iteration_ = 0;
   save_seq_ = 0;
+  placement_version_ = 0;
   halted_ = false;
   finalize_only_ = m.finalize_only;
   // A finalize-only assignment may arrive for an app this daemon already saw
@@ -678,6 +686,74 @@ void Daemon::handle_halt(const msg::GlobalHalt& m) {
 
   teardown_task();
   begin_bootstrap();  // rejoin the available pool
+}
+
+// ---------------------------------------------------------------------------
+// Fault-model defenses (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+namespace {
+std::uint64_t fnv1a(const serial::Bytes& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+}  // namespace
+
+void Daemon::handle_audit_challenge(const msg::AuditChallenge& m,
+                                    const net::Message& raw, net::Env& env) {
+  // Redundant-execution verification: re-run the challenged task on a FRESH
+  // instance (the daemon's own task state is untouched) and reply with a
+  // digest of the resulting checkpoint. The digest is a pure function of
+  // (descriptor, task id, iteration count), so every honest replica produces
+  // identical bits; only a forged reply can be outvoted. The re-run goes
+  // through env.compute, so its (throttled) cost is charged like real work.
+  std::shared_ptr<Task> fresh =
+      TaskProgramRegistry::instance().create(m.app.program);
+  if (fresh == nullptr) return;
+  const net::Stub requester = raw.from;
+  env.compute(
+      [fresh, m] {
+        fresh->init(m.app, m.task_id);
+        double flops = 0.0;
+        for (std::uint32_t i = 0; i < m.iterations; ++i) {
+          flops += fresh->iterate();
+        }
+        return flops;
+      },
+      [this, fresh, m, requester] {
+        msg::AuditReply reply;
+        reply.app_id = m.app.app_id;
+        reply.task_id = m.task_id;
+        reply.round = m.round;
+        reply.nonce = m.nonce;
+        reply.digest = fnv1a(fresh->checkpoint());
+        rmi::invoke(*env_, requester, reply);
+      });
+}
+
+void Daemon::apply_backup_placement(const msg::BackupPlacement& m) {
+  if (state_ != State::Computing || m.app_id != app_.app_id || finalize_only_) {
+    return;
+  }
+  if (m.version < placement_version_) return;
+  placement_version_ = m.version;
+  const std::uint32_t want = std::min<std::uint32_t>(
+      app_.backup_peer_count, app_.task_count > 0 ? app_.task_count - 1 : 0);
+  std::vector<TaskId> ranked;
+  for (const TaskId task : m.ranking) {
+    if (ranked.size() >= want) break;
+    if (task == task_id_ || task >= app_.task_count) continue;
+    ranked.push_back(task);
+  }
+  if (ranked.empty() || ranked == backup_peers_) return;
+  backup_peers_ = std::move(ranked);
+  // New holder set → fresh delta chains: every holder's next frame must be a
+  // baseline it can anchor on.
+  encoder_.emplace(app_.ckpt, backup_peers_.size());
 }
 
 void Daemon::teardown_task() {

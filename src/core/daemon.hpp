@@ -107,6 +107,11 @@ class Daemon : public net::Actor {
   void handle_halt(const msg::GlobalHalt& m);
   void teardown_task();
 
+  // Fault-model defenses (DESIGN.md §14).
+  void handle_audit_challenge(const msg::AuditChallenge& m,
+                              const net::Message& raw, net::Env& env);
+  void apply_backup_placement(const msg::BackupPlacement& m);
+
   // Diffusion-wave convergence detection (DESIGN.md §13; only with
   // cp_.diffusion).
   void handle_wave_token(const msg::WaveToken& m);
@@ -164,6 +169,9 @@ class Daemon : public net::Actor {
 
   // Checkpoint emission (§5.4 + delta framing, core/checkpoint.hpp).
   std::vector<TaskId> backup_peers_;
+  /// Highest BackupPlacement version applied (reputation-ranked holder set,
+  /// DESIGN.md §14); stale broadcasts are dropped.
+  std::uint64_t placement_version_ = 0;
   std::optional<checkpoint::DeltaEncoder> encoder_;
   std::uint32_t current_interval_ = 0;  ///< live k (adaptive or fixed)
   std::uint64_t iterations_since_checkpoint_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/adversary.hpp"
 #include "core/daemon.hpp"
 #include "core/messages.hpp"
 #include "core/super_peer.hpp"
@@ -52,7 +53,8 @@ void SimDeployment::build() {
                                    : config_.super_peer_count;
   std::vector<SuperPeer*> super_peers;
   for (std::size_t i = 0; i < sp_count; ++i) {
-    auto sp = std::make_unique<SuperPeer>(config_.timing, config_.cp);
+    auto sp = std::make_unique<SuperPeer>(config_.timing, config_.cp,
+                                          config_.rep);
     SuperPeer* raw = sp.get();
     const net::Stub stub = world_->add_node(
         std::move(sp), sim::MachineSpec::super_peer_class(), net::EntityKind::SuperPeer);
@@ -70,12 +72,26 @@ void SimDeployment::build() {
   // --- Heterogeneous daemon fleet (§7 hardware mix) ---
   Rng fleet_rng = world_->rng().split(0xf1ee7);
   const auto specs = config_.fleet.draw(config_.daemon_count, fleet_rng);
+  // Lying workers (churn.liars; DESIGN.md §14): a deterministic sample of the
+  // fleet is wrapped in a result-corrupting env at build time. The draw comes
+  // from a dedicated stream of the churn seed, so it perturbs nothing else.
+  std::vector<bool> is_liar(config_.daemon_count, false);
+  if (config_.churn.liars > 0 && config_.daemon_count > 0) {
+    Rng liar_rng(sim::mix64(config_.churn.seed ^ 0x11a5ull));
+    for (const std::size_t idx : liar_rng.sample_indices(
+             config_.daemon_count,
+             std::min(config_.churn.liars, config_.daemon_count))) {
+      is_liar[idx] = true;
+    }
+  }
   for (std::size_t i = 0; i < config_.daemon_count; ++i) {
-    auto daemon = std::make_unique<Daemon>(super_peer_addresses_, config_.timing,
-                                           config_.perf, config_.cp);
-    const net::Stub stub =
-        world_->add_node(std::move(daemon), specs[i], net::EntityKind::Daemon);
+    const net::Stub stub = world_->add_node(make_daemon(is_liar[i], i),
+                                            specs[i], net::EntityKind::Daemon);
     daemon_nodes_.push_back(stub.node);
+    if (is_liar[i]) {
+      liar_nodes_.push_back(stub.node);
+      report_.liar_nodes.push_back(stub.node);
+    }
   }
 
   // --- Spawner (stable, §5.5) ---
@@ -85,7 +101,7 @@ void SimDeployment::build() {
         completed_ = true;
         world_->request_stop();
       },
-      config_.timing, config_.cp);
+      config_.timing, config_.cp, config_.rep);
   spawner_ = spawner.get();
   const net::Stub spawner_stub = world_->add_node(
       std::move(spawner), sim::MachineSpec::spawner_class(), net::EntityKind::Spawner);
@@ -94,6 +110,87 @@ void SimDeployment::build() {
   // --- Failure injection schedule (§7 experiment protocol) ---
   for (const double t : config_.disconnect_times) {
     world_->schedule_global(t, [this] { inject_disconnect(); });
+  }
+
+  // --- Churn script (DESIGN.md §14; inactive when all op counts are 0) ---
+  if (config_.churn.active()) {
+    churn_script_.emplace(config_.churn);
+    churn_script_->install(*world_, *this);
+  }
+}
+
+std::unique_ptr<net::Actor> SimDeployment::make_daemon(bool liar,
+                                                       std::uint64_t tag) {
+  std::unique_ptr<net::Actor> actor = std::make_unique<Daemon>(
+      super_peer_addresses_, config_.timing, config_.perf, config_.cp);
+  if (liar) {
+    actor = std::make_unique<LyingWorker>(
+        std::move(actor), sim::mix64(config_.churn.seed ^ (0x11e5ull + tag)),
+        config_.churn.lie_rate);
+  }
+  return actor;
+}
+
+// ---------------------------------------------------------------------------
+// sim::ChurnDriver hooks (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+void SimDeployment::flash_join(std::size_t count, Rng& rng) {
+  if (completed_) return;
+  const auto specs = config_.fleet.draw(count, rng);
+  for (std::size_t i = 0; i < count; ++i) {
+    const net::Stub stub =
+        world_->add_node(make_daemon(/*liar=*/false, /*tag=*/0), specs[i],
+                         net::EntityKind::Daemon);
+    daemon_nodes_.push_back(stub.node);
+    ++report_.flash_joins;
+  }
+}
+
+void SimDeployment::failure_burst(std::size_t count, bool revive,
+                                  double revive_delay, Rng& rng) {
+  if (completed_) return;
+  std::vector<net::NodeId> pool;
+  for (const net::NodeId node : daemon_nodes_) {
+    if (world_->is_up(node)) pool.push_back(node);
+  }
+  const std::size_t n = std::min(count, pool.size());
+  // Partial Fisher-Yates: the first n slots become a distinct victim sample.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::swap(pool[i], pool[i + rng.index(pool.size() - i)]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const net::NodeId victim = pool[i];
+    accumulate_counters_from(victim);
+    world_->disconnect(victim);
+    ++report_.burst_disconnections;
+    if (revive) {
+      world_->schedule_global(revive_delay, [this, victim] {
+        if (completed_ || world_->is_up(victim)) return;
+        // Revived incarnations come back honest — a fresh peer, like the
+        // paper's reconnections (liar wrapping is a build-time property).
+        world_->revive(victim, make_daemon(/*liar=*/false, /*tag=*/0));
+        ++report_.burst_revivals;
+      });
+    }
+  }
+  JACEPP_LOG(Info, "deploy", "failure burst: %zu daemons down at %.3f", n,
+             world_->now());
+}
+
+void SimDeployment::slow_peers(std::size_t count, double factor, Rng& rng) {
+  if (completed_) return;
+  std::vector<net::NodeId> pool;
+  for (const net::NodeId node : daemon_nodes_) {
+    if (world_->is_up(node)) pool.push_back(node);
+  }
+  const std::size_t n = std::min(count, pool.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::swap(pool[i], pool[i + rng.index(pool.size() - i)]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    world_->throttle(pool[i], factor);
+    ++report_.slowdowns_applied;
   }
 }
 
@@ -134,7 +231,12 @@ void SimDeployment::inject_disconnect() {
 }
 
 void SimDeployment::accumulate_counters_from(net::NodeId node) {
-  auto* daemon = dynamic_cast<Daemon*>(world_->actor(node));
+  net::Actor* actor = world_->actor(node);
+  if (auto* liar = dynamic_cast<LyingWorker*>(actor)) {
+    report_.result_corruptions += liar->corruptions();
+    actor = liar->inner();
+  }
+  auto* daemon = dynamic_cast<Daemon*>(actor);
   if (daemon == nullptr) return;
   report_.restores_from_backup += daemon->restores_from_backup();
   report_.restarts_from_zero += daemon->restarts_from_zero();

@@ -10,11 +10,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/app.hpp"
 #include "core/config.hpp"
 #include "core/spawner.hpp"
+#include "sim/churn.hpp"
 #include "sim/machine.hpp"
 #include "sim/world.hpp"
 
@@ -31,6 +33,13 @@ struct SimDeploymentConfig {
   /// `super_peer_count`; defaults reproduce the centralized plane
   /// bit-for-bit.
   ControlPlaneConfig cp;
+  /// Reputation / redundant-execution knobs (`rep.*`, DESIGN.md §14).
+  /// Defaults keep every path off — bit-identical to a rep-less build.
+  ReputationConfig rep;
+  /// Deterministic fault-injection script (`churn.*`, DESIGN.md §14):
+  /// flash-crowd joins, correlated failure bursts, slow peers, lying workers.
+  /// The all-zero default installs nothing.
+  sim::ChurnScriptConfig churn;
   /// Simulator knobs, including the sharded-scheduler scale controls
   /// `sim.shards` / `sim.worker_threads` (env fallback JACEPP_SIM_SHARDS;
   /// DESIGN.md §12). The default (shards = 0 → 1) is bit-identical to the
@@ -71,9 +80,20 @@ struct SimExperimentReport {
   std::uint64_t restores_from_backup = 0;
   std::uint64_t restarts_from_zero = 0;
   std::uint64_t total_iterations_completed = 0;  ///< sum of FinalState iters
+
+  // Churn-script outcomes (DESIGN.md §14; all zero without a script).
+  std::uint64_t flash_joins = 0;
+  std::uint64_t burst_disconnections = 0;
+  std::uint64_t burst_revivals = 0;
+  std::uint64_t slowdowns_applied = 0;
+  /// Ground truth for voting tests: node ids built as lying workers, and the
+  /// results they actually corrupted (liars revived after a crash come back
+  /// honest, like any fresh incarnation).
+  std::vector<net::NodeId> liar_nodes;
+  std::uint64_t result_corruptions = 0;
 };
 
-class SimDeployment {
+class SimDeployment : private sim::ChurnDriver {
  public:
   explicit SimDeployment(SimDeploymentConfig config);
   ~SimDeployment();
@@ -99,6 +119,15 @@ class SimDeployment {
  private:
   void inject_disconnect();
   void accumulate_counters_from(net::NodeId node);
+  [[nodiscard]] std::unique_ptr<net::Actor> make_daemon(bool liar,
+                                                        std::uint64_t tag);
+
+  // sim::ChurnDriver hooks (DESIGN.md §14): run inside schedule_global
+  // events, drawing only from the per-op Rng.
+  void flash_join(std::size_t count, Rng& rng) override;
+  void failure_burst(std::size_t count, bool revive, double revive_delay,
+                     Rng& rng) override;
+  void slow_peers(std::size_t count, double factor, Rng& rng) override;
 
   SimDeploymentConfig config_;
   std::unique_ptr<sim::SimWorld> world_;
@@ -109,6 +138,8 @@ class SimDeployment {
   Spawner* spawner_ = nullptr;
   bool built_ = false;
   bool completed_ = false;
+  std::optional<sim::ChurnScript> churn_script_;
+  std::vector<net::NodeId> liar_nodes_;
 
   SimExperimentReport report_;
 };

@@ -549,6 +549,117 @@ struct StateProbe {
 };
 
 // ---------------------------------------------------------------------------
+// Reputation & redundant-execution verification (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+/// Spawner → Daemon (only with `rep.redundancy >= 2`): re-run `iterations`
+/// iterations of `task_id` from its initial state — a pure function of the
+/// descriptor, so every honest replica computes the same digest — and reply
+/// with an AuditReply. Carries the full descriptor so replicas that never ran
+/// the task can instantiate it.
+struct AuditChallenge {
+  static constexpr net::MessageType kType = 27;
+  AppDescriptor app;
+  TaskId task_id = 0;
+  std::uint32_t round = 0;   ///< verification round this vote belongs to
+  std::uint64_t nonce = 0;   ///< echoed in the reply; stale replies are dropped
+  std::uint32_t iterations = 0;
+
+  void serialize(serial::Writer& w) const {
+    app.serialize(w);
+    w.u32(task_id);
+    w.u32(round);
+    w.u64(nonce);
+    w.u32(iterations);
+  }
+  static AuditChallenge deserialize(serial::Reader& r) {
+    AuditChallenge m;
+    m.app = AppDescriptor::deserialize(r);
+    m.task_id = r.u32();
+    m.round = r.u32();
+    m.nonce = r.u64();
+    m.iterations = r.u32();
+    return m;
+  }
+};
+
+/// Daemon → Spawner: digest of the audited re-run (the replica's vote).
+struct AuditReply {
+  static constexpr net::MessageType kType = 28;
+  AppId app_id = 0;
+  TaskId task_id = 0;
+  std::uint32_t round = 0;
+  std::uint64_t nonce = 0;
+  std::uint64_t digest = 0;  ///< FNV-1a over the post-run checkpoint bytes
+
+  void serialize(serial::Writer& w) const {
+    w.u32(app_id);
+    w.u32(task_id);
+    w.u32(round);
+    w.u64(nonce);
+    w.u64(digest);
+  }
+  static AuditReply deserialize(serial::Reader& r) {
+    AuditReply m;
+    m.app_id = r.u32();
+    m.task_id = r.u32();
+    m.round = r.u32();
+    m.nonce = r.u64();
+    m.digest = r.u64();
+    return m;
+  }
+};
+
+/// Spawner → Super-Peers (only with `rep.enabled`): one reputation
+/// observation about a daemon node, folded into the super-peer's score store
+/// so reservation grants learn from spawner-side evidence (failures,
+/// completion latencies, voting outcomes).
+struct ReputationReport {
+  static constexpr net::MessageType kType = 29;
+  enum Kind : std::uint8_t { Success = 0, Failure = 1, Liar = 2, Speed = 3 };
+  std::uint64_t node = 0;  ///< subject daemon's NodeId
+  std::uint8_t kind = Success;
+  double value = 0.0;      ///< Speed: normalized latency score in [0, 1]
+
+  void serialize(serial::Writer& w) const {
+    w.u64(node);
+    w.u8(kind);
+    w.f64(value);
+  }
+  static ReputationReport deserialize(serial::Reader& r) {
+    ReputationReport m;
+    m.node = r.u64();
+    m.kind = r.u8();
+    m.value = r.f64();
+    return m;
+  }
+};
+
+/// Spawner → computing Daemons (only with `rep.backup_placement`): tasks
+/// ranked by their daemon's reputation, best first. A daemon derives its
+/// backup peers from the top of this ranking (excluding itself) instead of
+/// the round-robin neighbours, steering checkpoints toward reliable hosts.
+struct BackupPlacement {
+  static constexpr net::MessageType kType = 30;
+  AppId app_id = 0;
+  std::uint64_t version = 0;  ///< stale rankings (older broadcasts) are ignored
+  std::vector<TaskId> ranking;
+
+  void serialize(serial::Writer& w) const {
+    w.u32(app_id);
+    w.u64(version);
+    w.u32_vector(ranking);
+  }
+  static BackupPlacement deserialize(serial::Reader& r) {
+    BackupPlacement m;
+    m.app_id = r.u32();
+    m.version = r.u64();
+    m.ranking = r.u32_vector();
+    return m;
+  }
+};
+
+// ---------------------------------------------------------------------------
 // Delivery classes (net/link.hpp; DESIGN.md §8)
 // ---------------------------------------------------------------------------
 

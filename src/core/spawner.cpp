@@ -10,12 +10,14 @@ namespace jacepp::core {
 
 Spawner::Spawner(AppDescriptor app, std::vector<net::Stub> bootstrap_addresses,
                  CompletionCallback on_complete, TimingConfig timing,
-                 ControlPlaneConfig cp)
+                 ControlPlaneConfig cp, ReputationConfig rep)
     : app_(std::move(app)),
       timing_(timing),
       cp_(cp),
+      rep_(rep),
       bootstrap_addresses_(std::move(bootstrap_addresses)),
-      on_complete_(std::move(on_complete)) {
+      on_complete_(std::move(on_complete)),
+      local_rep_(rep) {
   JACEPP_CHECK(app_.task_count > 0, "Spawner: application needs >= 1 task");
   JACEPP_CHECK(!bootstrap_addresses_.empty(),
                "Spawner needs at least one super-peer bootstrap address");
@@ -33,9 +35,24 @@ Spawner::Spawner(AppDescriptor app, std::vector<net::Stub> bootstrap_addresses,
       [this](const msg::Heartbeat&, const net::Message& raw, net::Env& env) {
         const auto it = task_of_daemon_.find(raw.from);
         if (it != task_of_daemon_.end()) {
+          if (rep_.enabled) {
+            // First heartbeat after an assignment doubles as a speed probe:
+            // its latency reflects queueing + wire + the daemon's own load.
+            const auto ack = awaiting_first_heartbeat_.find(it->second);
+            if (ack != awaiting_first_heartbeat_.end()) {
+              const double norm = 1.0 / (1.0 + (env.now() - ack->second));
+              local_rep_.observe_speed(raw.from.node, norm);
+              report_reputation(raw.from.node, msg::ReputationReport::Speed,
+                                norm);
+            }
+          }
           last_heartbeat_[it->second] = env.now();
           awaiting_first_heartbeat_.erase(it->second);
         }
+      });
+  dispatcher_.on<msg::AuditReply>(
+      [this](const msg::AuditReply& m, const net::Message& raw, net::Env&) {
+        handle_audit_reply(m, raw);
       });
   dispatcher_.on<msg::LocalStateReport>(
       [this](const msg::LocalStateReport& m, const net::Message& raw, net::Env&) {
@@ -57,6 +74,13 @@ Spawner::Spawner(AppDescriptor app, std::vector<net::Stub> bootstrap_addresses,
           return;
         }
         ++verdicts_received_;
+        if (audit_pending()) {
+          // Redundant-execution gate (DESIGN.md §14): verify results before
+          // trusting the verdict enough to halt the application.
+          halt_after_audit_ = true;
+          start_audit();
+          return;
+        }
         broadcast_halt();
       });
   dispatcher_.on<msg::AppRegisterSnapshot>(
@@ -206,13 +230,13 @@ void Spawner::handle_reserve_reply(const msg::ReserveReply& m) {
   if (!launched_) {
     try_launch();
   } else {
-    // Serve pending replacements FIFO (paper Figure 4).
+    // Serve pending replacements FIFO (paper Figure 4). With rep.enabled the
+    // pool hands out its best-scored daemon instead of its oldest — churn-
+    // aware placement keeps flappy hosts out of the replacement slots.
     while (!awaiting_replacement_.empty() && !pool_.empty()) {
       const TaskId task = awaiting_replacement_.front();
       awaiting_replacement_.pop_front();
-      const net::Stub daemon = pool_.front().stub;
-      pool_.erase(pool_.begin());
-      assign_task(task, daemon, /*restart=*/true);
+      assign_task(task, take_from_pool(), /*restart=*/true);
       ++report_.replacements;
     }
     if (halt_broadcast_) serve_final_recovery();
@@ -229,6 +253,16 @@ void Spawner::try_launch() {
   if (launched_ || pool_.size() < app_.task_count) return;
   launched_ = true;
   report_.launch_time = env_->now();
+
+  if (rep_.enabled) {
+    // Launch on the best-scored daemons first (stable: FIFO on ties, so the
+    // all-neutral cold start launches exactly like the default path).
+    std::stable_sort(pool_.begin(), pool_.end(),
+                     [this](const PooledDaemon& a, const PooledDaemon& b) {
+                       return local_rep_.score_of(a.stub.node) >
+                              local_rep_.score_of(b.stub.node);
+                     });
+  }
 
   reg_.version = 1;
   reg_.tasks.clear();
@@ -254,6 +288,7 @@ void Spawner::try_launch() {
     rmi::invoke(*env_, entry.daemon, assignment);
   }
   replicate_register();
+  broadcast_backup_placement();
   JACEPP_LOG(Info, "spawner", "application %u launched on %u daemons at %.3f",
              app_.app_id, app_.task_count, env_->now());
 }
@@ -290,6 +325,7 @@ void Spawner::broadcast_register() {
     }
   }
   replicate_register();
+  broadcast_backup_placement();
 }
 
 void Spawner::replicate_register() {
@@ -387,6 +423,11 @@ void Spawner::sweep_heartbeats() {
                  entry.daemon.to_debug_string().c_str(), entry.task_id,
                  nacked ? "never acknowledged its assignment" : "timed out",
                  env_->now());
+      if (rep_.enabled) {
+        local_rep_.observe_failure(entry.daemon.node);
+        report_reputation(entry.daemon.node, msg::ReputationReport::Failure,
+                          0.0);
+      }
       task_of_daemon_.erase(entry.daemon);
       entry.daemon = net::Stub{};
       awaiting_first_heartbeat_.erase(entry.task_id);
@@ -440,6 +481,13 @@ void Spawner::maybe_halt() {
     if (!entry.daemon.valid()) return;
     const auto hb = last_heartbeat_.find(entry.task_id);
     if (hb == last_heartbeat_.end() || hb->second < fresh_after) return;
+  }
+  if (audit_pending()) {
+    // Redundant-execution gate (DESIGN.md §14): every halt condition is met,
+    // but results must survive a verification round first. finish_audit()
+    // re-enters maybe_halt() once the votes are tallied.
+    start_audit();
+    return;
   }
   broadcast_halt();
 }
@@ -503,8 +551,7 @@ void Spawner::serve_final_recovery() {
   while (!awaiting_final_recovery_.empty() && !pool_.empty()) {
     const TaskId task = awaiting_final_recovery_.front();
     awaiting_final_recovery_.pop_front();
-    const net::Stub daemon = pool_.front().stub;
-    pool_.erase(pool_.begin());
+    const net::Stub daemon = take_from_pool();
 
     ++reg_.version;
     for (TaskEntry& entry : reg_.tasks) {
@@ -529,6 +576,188 @@ void Spawner::handle_final_state(const msg::FinalState& m) {
   report_.final_informative_iterations[m.task_id] = m.informative_iterations;
   report_.final_payloads[m.task_id] = m.payload;
   if (final_states_received_ == app_.task_count && !finished_) finish();
+}
+
+// --- Reputation & redundant execution (DESIGN.md §14) ---
+
+net::Stub Spawner::take_from_pool() {
+  std::size_t best = 0;
+  if (rep_.enabled) {
+    // Strict `>` keeps the earliest entry on ties, so the neutral cold start
+    // degenerates to the default FIFO pick.
+    for (std::size_t i = 1; i < pool_.size(); ++i) {
+      if (local_rep_.score_of(pool_[i].stub.node) >
+          local_rep_.score_of(pool_[best].stub.node)) {
+        best = i;
+      }
+    }
+  }
+  const net::Stub stub = pool_[best].stub;
+  pool_.erase(pool_.begin() + static_cast<std::ptrdiff_t>(best));
+  return stub;
+}
+
+void Spawner::report_reputation(std::uint64_t node, std::uint8_t kind,
+                                double value) {
+  if (!rep_.enabled) return;
+  msg::ReputationReport report;
+  report.node = node;
+  report.kind = kind;
+  report.value = value;
+  for (const net::Stub& sp : bootstrap_addresses_) {
+    rmi::invoke(*env_, sp, report);
+  }
+}
+
+void Spawner::broadcast_backup_placement() {
+  // Churn-aware backup placement (DESIGN.md §14): rank the task ring by the
+  // reputation of each task's current daemon and push the ranking to every
+  // computing daemon. Daemons checkpoint onto the top-ranked holders instead
+  // of their round-robin neighbours, so backups concentrate on stable hosts.
+  if (!rep_.enabled || !rep_.backup_placement || !launched_) return;
+  msg::BackupPlacement placement;
+  placement.app_id = app_.app_id;
+  placement.version = reg_.version;
+  placement.ranking.reserve(reg_.tasks.size());
+  for (const TaskEntry& entry : reg_.tasks) {
+    placement.ranking.push_back(entry.task_id);
+  }
+  std::stable_sort(placement.ranking.begin(), placement.ranking.end(),
+                   [this](TaskId a, TaskId b) {
+                     const net::Stub da = reg_.daemon_of(a);
+                     const net::Stub db = reg_.daemon_of(b);
+                     const double sa =
+                         da.valid() ? local_rep_.score_of(da.node) : -1.0;
+                     const double sb =
+                         db.valid() ? local_rep_.score_of(db.node) : -1.0;
+                     return sa > sb;
+                   });
+  for (const TaskEntry& entry : reg_.tasks) {
+    if (entry.daemon.valid()) rmi::invoke(*env_, entry.daemon, placement);
+  }
+}
+
+std::uint64_t Spawner::audit_nonce(TaskId task) const {
+  // Unique per (app, audit round, task); replies echo it, so a stale reply
+  // from an earlier round can never be counted as a vote.
+  return (static_cast<std::uint64_t>(app_.app_id) << 32) ^
+         (static_cast<std::uint64_t>(audit_round_) << 20) ^
+         static_cast<std::uint64_t>(task);
+}
+
+void Spawner::start_audit() {
+  if (audit_in_progress_) return;
+  audit_in_progress_ = true;
+  ++audit_round_;
+  ++report_.audit_rounds;
+  audit_votes_.clear();
+  audit_sent_at_.clear();
+  audit_expected_ = 0;
+  audit_received_ = 0;
+
+  // Each task's verification is re-run by `k` daemons: its own plus the next
+  // k-1 on the task ring (Davtyan-style redundant execution). The challenge
+  // carries the full descriptor, so a daemon can instantiate and re-run a
+  // task it does not own; honest replicas produce bit-identical digests.
+  const std::uint32_t k =
+      std::min<std::uint32_t>(rep_.redundancy, app_.task_count);
+  for (TaskId task = 0; task < app_.task_count; ++task) {
+    for (std::uint32_t j = 0; j < k; ++j) {
+      const TaskId responder = (task + j) % app_.task_count;
+      const net::Stub daemon = reg_.daemon_of(responder);
+      if (!daemon.valid()) continue;
+      const auto key = std::make_pair(task, daemon.node);
+      if (audit_sent_at_.count(key) != 0) continue;
+      msg::AuditChallenge challenge;
+      challenge.app = app_;
+      challenge.task_id = task;
+      challenge.round = audit_round_;
+      challenge.nonce = audit_nonce(task);
+      challenge.iterations = std::max<std::uint32_t>(rep_.audit_iterations, 1);
+      rmi::invoke(*env_, daemon, challenge);
+      audit_sent_at_[key] = env_->now();
+      ++audit_expected_;
+    }
+  }
+  JACEPP_LOG(Info, "spawner",
+             "audit round %u: %zu challenges (k=%u) at %.3f", audit_round_,
+             audit_expected_, k, env_->now());
+  if (audit_expected_ == 0) {
+    finish_audit();
+    return;
+  }
+  const std::uint32_t round = audit_round_;
+  env_->schedule(rep_.audit_timeout, [this, round] {
+    // Votes from daemons that died mid-audit never arrive; tally without them.
+    if (audit_in_progress_ && audit_round_ == round) finish_audit();
+  });
+}
+
+void Spawner::handle_audit_reply(const msg::AuditReply& m,
+                                 const net::Message& raw) {
+  if (!audit_in_progress_ || m.app_id != app_.app_id ||
+      m.round != audit_round_ || m.nonce != audit_nonce(m.task_id)) {
+    return;
+  }
+  const auto key = std::make_pair(m.task_id, raw.from.node);
+  const auto sent = audit_sent_at_.find(key);
+  if (sent == audit_sent_at_.end()) return;  // unsolicited or duplicate
+  if (rep_.enabled) {
+    // Challenge round-trips double as speed probes: they include the actual
+    // (throttled) compute time of the re-run.
+    const double norm = 1.0 / (1.0 + (env_->now() - sent->second));
+    local_rep_.observe_speed(raw.from.node, norm);
+    report_reputation(raw.from.node, msg::ReputationReport::Speed, norm);
+  }
+  audit_sent_at_.erase(sent);
+  audit_votes_[m.task_id].push_back(AuditVote{raw.from, m.digest});
+  ++audit_received_;
+  if (audit_received_ == audit_expected_) finish_audit();
+}
+
+void Spawner::finish_audit() {
+  audit_in_progress_ = false;
+  audit_done_ = true;
+
+  // Majority vote per task: the digest held by a strict majority of the
+  // collected votes wins; every dissenting voter is flagged. A task with
+  // fewer than two votes, or no strict majority, yields no verdict (never a
+  // false positive — only being outvoted demotes a peer).
+  std::set<std::uint64_t> flagged;
+  for (const auto& [task, votes] : audit_votes_) {
+    if (votes.size() < 2) continue;
+    std::map<std::uint64_t, std::size_t> counts;
+    for (const AuditVote& vote : votes) ++counts[vote.digest];
+    std::uint64_t majority_digest = 0;
+    std::size_t majority_count = 0;
+    for (const auto& [digest, count] : counts) {
+      if (count > majority_count) {
+        majority_count = count;
+        majority_digest = digest;
+      }
+    }
+    if (2 * majority_count <= votes.size()) continue;
+    for (const AuditVote& vote : votes) {
+      if (vote.digest != majority_digest) flagged.insert(vote.voter.node);
+    }
+  }
+  for (const std::uint64_t node : flagged) {
+    report_.flagged_liars.push_back(node);
+    local_rep_.observe_liar(node);
+    report_reputation(node, msg::ReputationReport::Liar, 0.0);
+    JACEPP_LOG(Info, "spawner", "audit outvoted node %llu: demoted as liar",
+               static_cast<unsigned long long>(node));
+  }
+  audit_votes_.clear();
+  audit_sent_at_.clear();
+
+  if (halt_after_audit_) {
+    // Diffusion mode: the verdict already certified convergence.
+    halt_after_audit_ = false;
+    broadcast_halt();
+  } else {
+    maybe_halt();  // audit_done_ is set; the gates decide again
+  }
 }
 
 void Spawner::finish() {

@@ -16,6 +16,7 @@
 #include "asynciter/convergence.hpp"
 #include "core/config.hpp"
 #include "core/messages.hpp"
+#include "core/reputation.hpp"
 #include "net/env.hpp"
 #include "rmi/rmi.hpp"
 
@@ -35,6 +36,10 @@ struct SpawnerReport {
   std::vector<std::uint64_t> final_informative_iterations;
   /// Final payload per task (empty if never received).
   std::vector<serial::Bytes> final_payloads;
+  /// Redundant-execution verification (DESIGN.md §14; rep.redundancy >= 2):
+  /// rounds run and the nodes outvoted in them (sorted, deduplicated).
+  std::uint32_t audit_rounds = 0;
+  std::vector<std::uint64_t> flagged_liars;
 
   [[nodiscard]] double execution_time() const {
     return convergence_time;  // measured from t=0 (spawner start), like the paper
@@ -66,7 +71,7 @@ class Spawner : public net::Actor {
   /// `on_complete` fires exactly once, after halt + final-state collection.
   Spawner(AppDescriptor app, std::vector<net::Stub> bootstrap_addresses,
           CompletionCallback on_complete, TimingConfig timing = {},
-          ControlPlaneConfig cp = {});
+          ControlPlaneConfig cp = {}, ReputationConfig rep = {});
 
   void on_start(net::Env& env) override;
   void on_message(const net::Message& message, net::Env& env) override;
@@ -92,6 +97,7 @@ class Spawner : public net::Actor {
   [[nodiscard]] std::size_t pending_replacements() const {
     return awaiting_replacement_.size();
   }
+  [[nodiscard]] const ReputationStore& reputation() const { return local_rep_; }
   /// Stubs of all daemons currently holding a task (for the failure injector).
   [[nodiscard]] std::vector<net::Stub> computing_daemons() const;
 
@@ -115,9 +121,22 @@ class Spawner : public net::Actor {
   void handle_final_state(const msg::FinalState& m);
   void finish();
 
+  // Reputation & redundant execution (DESIGN.md §14).
+  [[nodiscard]] net::Stub take_from_pool();
+  void report_reputation(std::uint64_t node, std::uint8_t kind, double value);
+  void broadcast_backup_placement();
+  [[nodiscard]] bool audit_pending() const {
+    return rep_.redundancy >= 2 && !audit_done_;
+  }
+  [[nodiscard]] std::uint64_t audit_nonce(TaskId task) const;
+  void start_audit();
+  void handle_audit_reply(const msg::AuditReply& m, const net::Message& raw);
+  void finish_audit();
+
   AppDescriptor app_;
   TimingConfig timing_;
   ControlPlaneConfig cp_;
+  ReputationConfig rep_;
   std::vector<net::Stub> bootstrap_addresses_;
   CompletionCallback on_complete_;
   rmi::Dispatcher dispatcher_;
@@ -166,6 +185,27 @@ class Spawner : public net::Actor {
   std::uint64_t reservations_expired_ = 0;
   std::uint64_t assign_nacks_ = 0;
   std::uint64_t verdicts_received_ = 0;
+
+  /// The spawner's own view of daemon scores (DESIGN.md §14): fed by the
+  /// failures, first-heartbeat latencies and voting outcomes it observes;
+  /// consulted when picking pooled daemons for launch slots and replacements.
+  ReputationStore local_rep_;
+
+  // Verification-round state (rep.redundancy >= 2). One audit runs per
+  // application, between convergence detection and the halt broadcast.
+  struct AuditVote {
+    net::Stub voter;
+    std::uint64_t digest = 0;
+  };
+  bool audit_done_ = false;
+  bool audit_in_progress_ = false;
+  bool halt_after_audit_ = false;  ///< diffusion verdict deferred to the audit
+  std::uint32_t audit_round_ = 0;
+  std::map<TaskId, std::vector<AuditVote>> audit_votes_;
+  /// (task, voter node) → challenge send time; doubles as the outstanding set.
+  std::map<std::pair<TaskId, std::uint64_t>, double> audit_sent_at_;
+  std::size_t audit_expected_ = 0;
+  std::size_t audit_received_ = 0;
 
   // Termination state.
   bool halt_broadcast_ = false;

@@ -6,8 +6,9 @@
 
 namespace jacepp::core {
 
-SuperPeer::SuperPeer(TimingConfig timing, ControlPlaneConfig cp)
-    : timing_(timing), cp_(cp) {
+SuperPeer::SuperPeer(TimingConfig timing, ControlPlaneConfig cp,
+                     ReputationConfig rep)
+    : timing_(timing), cp_(cp), rep_(rep), rep_store_(rep) {
   dispatcher_.on<msg::RegisterDaemon>(
       [this](const msg::RegisterDaemon& m, const net::Message&, net::Env& env) {
         handle_register(m, env);
@@ -30,6 +31,29 @@ SuperPeer::SuperPeer(TimingConfig timing, ControlPlaneConfig cp)
   dispatcher_.on<msg::FetchAppRegister>(
       [this](const msg::FetchAppRegister& m, const net::Message& raw,
              net::Env& env) { handle_fetch(m, raw, env); });
+  dispatcher_.on<msg::ReputationReport>(
+      [this](const msg::ReputationReport& m, const net::Message&, net::Env&) {
+        // Spawner-side evidence (DESIGN.md §14). Never sent unless the
+        // spawner runs with rep.enabled; ignore it anyway if this super-peer
+        // does not keep scores.
+        if (!rep_.enabled) return;
+        switch (m.kind) {
+          case msg::ReputationReport::Success:
+            rep_store_.observe_success(m.node);
+            break;
+          case msg::ReputationReport::Failure:
+            rep_store_.observe_failure(m.node);
+            break;
+          case msg::ReputationReport::Liar:
+            rep_store_.observe_liar(m.node);
+            break;
+          case msg::ReputationReport::Speed:
+            rep_store_.observe_speed(m.node, m.value);
+            break;
+          default:
+            break;
+        }
+      });
 }
 
 void SuperPeer::on_start(net::Env& env) {
@@ -77,6 +101,7 @@ void SuperPeer::handle_heartbeat(const net::Message& raw, net::Env& env) {
   if (it == register_.end()) return;
   it->second = env.now();
   deadlines_.bump(raw.from, env.now());
+  if (rep_.enabled) rep_store_.observe_success(raw.from.node);
   rmi::invoke(env, raw.from, msg::HeartbeatAck{});
 }
 
@@ -87,14 +112,42 @@ void SuperPeer::handle_link(const msg::LinkSuperPeers& m, net::Env& env) {
   }
 }
 
+std::vector<net::Stub> SuperPeer::grant_order() const {
+  std::vector<net::Stub> order;
+  order.reserve(register_.size());
+  for (const auto& [stub, last] : register_) order.push_back(stub);
+  if (rep_.enabled) {
+    // Reputation-aware placement (DESIGN.md §14): best-scored daemons go
+    // out first. Stable sort over the map's stub order makes ties — notably
+    // the all-neutral cold start — identical to the FIFO behaviour.
+    std::stable_sort(order.begin(), order.end(),
+                     [this](const net::Stub& a, const net::Stub& b) {
+                       return rep_store_.score_of(a.node) >
+                              rep_store_.score_of(b.node);
+                     });
+  }
+  return order;
+}
+
 void SuperPeer::handle_reserve(const msg::ReserveRequest& m, net::Env& env) {
-  // Fill as much as possible from the local register (FIFO by stub order).
+  // Fill as much as possible from the local register — FIFO by stub order
+  // (O(count), the 100k-register hot path), or by descending reputation
+  // score when rep.enabled (O(n log n), bounded by the register size).
   std::vector<net::Stub> granted;
-  while (granted.size() < m.count && !register_.empty()) {
-    const auto it = register_.begin();
-    granted.push_back(it->first);
-    deadlines_.erase(it->first);
-    register_.erase(it);
+  if (!rep_.enabled) {
+    while (granted.size() < m.count && !register_.empty()) {
+      const auto it = register_.begin();
+      granted.push_back(it->first);
+      deadlines_.erase(it->first);
+      register_.erase(it);
+    }
+  } else {
+    for (const net::Stub& daemon : grant_order()) {
+      if (granted.size() >= m.count) break;
+      granted.push_back(daemon);
+      deadlines_.erase(daemon);
+      register_.erase(daemon);
+    }
   }
   for (const net::Stub& daemon : granted) {
     rmi::invoke(env, daemon, msg::Reserved{m.requester});
@@ -172,6 +225,8 @@ void SuperPeer::sweep(net::Env& env) {
     JACEPP_LOG(Debug, "super-peer", "sweeping dead daemon %s",
                daemon.to_debug_string().c_str());
     register_.erase(daemon);
+    // A swept daemon went silent while idle — an availability failure.
+    if (rep_.enabled) rep_store_.observe_failure(daemon.node);
   });
 }
 

@@ -18,6 +18,7 @@
 #include "core/config.hpp"
 #include "core/deadline_heap.hpp"
 #include "core/messages.hpp"
+#include "core/reputation.hpp"
 #include "net/env.hpp"
 #include "rmi/rmi.hpp"
 
@@ -25,7 +26,8 @@ namespace jacepp::core {
 
 class SuperPeer : public net::Actor {
  public:
-  explicit SuperPeer(TimingConfig timing = {}, ControlPlaneConfig cp = {});
+  explicit SuperPeer(TimingConfig timing = {}, ControlPlaneConfig cp = {},
+                     ReputationConfig rep = {});
 
   void on_start(net::Env& env) override;
   void on_message(const net::Message& message, net::Env& env) override;
@@ -45,6 +47,7 @@ class SuperPeer : public net::Actor {
   [[nodiscard]] std::uint64_t daemons_swept() const { return daemons_swept_; }
   [[nodiscard]] bool has_replica(AppId app_id) const { return replicas_.count(app_id) != 0; }
   [[nodiscard]] std::uint64_t replica_version(AppId app_id) const;
+  [[nodiscard]] const ReputationStore& reputation() const { return rep_store_; }
 
  private:
   void handle_register(const msg::RegisterDaemon& m, net::Env& env);
@@ -55,9 +58,13 @@ class SuperPeer : public net::Actor {
   void handle_fetch(const msg::FetchAppRegister& m, const net::Message& raw,
                     net::Env& env);
   void sweep(net::Env& env);
+  /// Register keys in reservation-grant order: FIFO (map order) by default,
+  /// descending reputation score with stub-order tie-break when rep.enabled.
+  [[nodiscard]] std::vector<net::Stub> grant_order() const;
 
   TimingConfig timing_;
   ControlPlaneConfig cp_;
+  ReputationConfig rep_;
   rmi::Dispatcher dispatcher_;
   net::Env* env_ = nullptr;
 
@@ -70,6 +77,11 @@ class SuperPeer : public net::Actor {
 
   /// Application Register replicas (spawner failover; DESIGN.md §13).
   std::map<AppId, AppRegister> replicas_;
+
+  /// EWMA availability/speed per daemon node (DESIGN.md §14). Keyed by node,
+  /// so a machine's history survives crash/revive incarnations. Only written
+  /// when rep_.enabled.
+  ReputationStore rep_store_;
 
   std::uint64_t reservations_served_ = 0;
   std::uint64_t requests_forwarded_ = 0;

@@ -237,6 +237,13 @@ const MachineSpec& SimWorld::spec_of(net::NodeId node_id) const {
   return node_ref(node_id).spec;
 }
 
+void SimWorld::throttle(net::NodeId node, double factor) {
+  JACEPP_CHECK(factor >= 1.0, "throttle: factor must be >= 1 (slowdown only)");
+  Node& n = node_ref(node);
+  n.spec.flops_per_sec /= factor;
+  n.spec.bandwidth_bps /= factor;
+}
+
 std::size_t SimWorld::live_node_count() const {
   std::size_t count = 0;
   for (const auto& [id, node] : nodes_) {

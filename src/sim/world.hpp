@@ -165,6 +165,13 @@ class SimWorld {
   [[nodiscard]] const MachineSpec& spec_of(net::NodeId node) const;
   [[nodiscard]] std::size_t live_node_count() const;
 
+  /// Slow-peer fault injection (DESIGN.md §14): divide the node's sustained
+  /// flop rate and NIC bandwidth by `factor` (>= 1). Only latency_s +
+  /// message_overhead_s feed the conservative lookahead bound, so slowing a
+  /// machine can only lengthen delays — the sharded round protocol stays
+  /// correct. Call from a schedule_global event (round barrier) only.
+  void throttle(net::NodeId node, double factor);
+
   /// Run until stop is requested, the event queue drains, or max_time passes.
   void run();
   /// Run at most until absolute time `t`; returns true if stop was requested.
