@@ -178,7 +178,8 @@ void SimDeployment::failure_burst(std::size_t count, bool revive,
              world_->now());
 }
 
-void SimDeployment::slow_peers(std::size_t count, double factor, Rng& rng) {
+void SimDeployment::slow_peers(std::size_t count, double factor,
+                               double wire_factor, Rng& rng) {
   if (completed_) return;
   std::vector<net::NodeId> pool;
   for (const net::NodeId node : daemon_nodes_) {
@@ -189,7 +190,7 @@ void SimDeployment::slow_peers(std::size_t count, double factor, Rng& rng) {
     std::swap(pool[i], pool[i + rng.index(pool.size() - i)]);
   }
   for (std::size_t i = 0; i < n; ++i) {
-    world_->throttle(pool[i], factor);
+    world_->throttle(pool[i], factor, wire_factor);
     ++report_.slowdowns_applied;
   }
 }

@@ -127,7 +127,8 @@ class SimDeployment : private sim::ChurnDriver {
   void flash_join(std::size_t count, Rng& rng) override;
   void failure_burst(std::size_t count, bool revive, double revive_delay,
                      Rng& rng) override;
-  void slow_peers(std::size_t count, double factor, Rng& rng) override;
+  void slow_peers(std::size_t count, double factor, double wire_factor,
+                  Rng& rng) override;
 
   SimDeploymentConfig config_;
   std::unique_ptr<sim::SimWorld> world_;

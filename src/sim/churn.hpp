@@ -38,6 +38,12 @@ struct ChurnScriptConfig {
   std::size_t slowdowns = 0;     ///< slow-peer events (service-time scaling)
   std::size_t slowdown_size = 1; ///< peers throttled per event
   double slow_factor = 8.0;      ///< flops/bandwidth divisor (>= 1)
+  /// Wire-cost multiplier (>= 1) applied to throttled peers' latency +
+  /// per-message overhead. 1 (the default) keeps slowdowns compute/bandwidth
+  /// only — bit-identical to traces generated before this knob existed.
+  /// Values > 1 model congested NICs and make SimWorld's cached wire-cost
+  /// minimum invalidation load-bearing (DESIGN.md §12).
+  double slow_wire_factor = 1.0;
   std::size_t liars = 0;         ///< lying workers injected at build time
   double lie_rate = 1.0;         ///< per-result corruption probability
 
@@ -56,6 +62,7 @@ struct ChurnOp {
   ChurnOpKind kind = ChurnOpKind::FlashCrowd;
   std::size_t count = 0;       ///< joins / victims / throttled peers
   double factor = 1.0;         ///< slowdown divisor (Slowdown only)
+  double wire_factor = 1.0;    ///< latency/overhead multiplier (Slowdown only)
   std::uint64_t rng_seed = 0;  ///< private substream for victim selection
 };
 
@@ -79,7 +86,8 @@ class ChurnDriver {
   virtual void flash_join(std::size_t count, Rng& rng) = 0;
   virtual void failure_burst(std::size_t count, bool revive,
                              double revive_delay, Rng& rng) = 0;
-  virtual void slow_peers(std::size_t count, double factor, Rng& rng) = 0;
+  virtual void slow_peers(std::size_t count, double factor, double wire_factor,
+                          Rng& rng) = 0;
 };
 
 class ChurnScript {

@@ -237,11 +237,21 @@ const MachineSpec& SimWorld::spec_of(net::NodeId node_id) const {
   return node_ref(node_id).spec;
 }
 
-void SimWorld::throttle(net::NodeId node, double factor) {
+void SimWorld::throttle(net::NodeId node, double factor, double wire_factor) {
   JACEPP_CHECK(factor >= 1.0, "throttle: factor must be >= 1 (slowdown only)");
+  JACEPP_CHECK(wire_factor >= 1.0,
+               "throttle: wire_factor must be >= 1 (slowdown only)");
   Node& n = node_ref(node);
   n.spec.flops_per_sec /= factor;
   n.spec.bandwidth_bps /= factor;
+  if (wire_factor > 1.0) {
+    // Raising a node's wire cost may raise the global minimum; the cached
+    // value stays a valid (conservative) lower bound meanwhile, so only the
+    // horizon width is at stake — rescan lazily at the next lookahead().
+    n.spec.latency_s *= wire_factor;
+    n.spec.message_overhead_s *= wire_factor;
+    wire_cost_dirty_ = true;
+  }
 }
 
 std::size_t SimWorld::live_node_count() const {
@@ -304,7 +314,20 @@ std::uint64_t SimWorld::events_executed() const {
   return total;
 }
 
+void SimWorld::refresh_wire_cost() const {
+  if (!wire_cost_dirty_) return;
+  double min_cost = std::numeric_limits<double>::infinity();
+  // Down nodes stay in the scan: a revived incarnation keeps its spec, so
+  // excluding it here could briefly overstate the minimum.
+  for (const auto& [id, node] : nodes_) {
+    min_cost = std::min(min_cost, node.spec.min_wire_cost());
+  }
+  min_wire_cost_ = min_cost;
+  wire_cost_dirty_ = false;
+}
+
 double SimWorld::lookahead() const {
+  refresh_wire_cost();
   if (!std::isfinite(min_wire_cost_)) return 0.0;
   // Any wire transfer costs at least (1 - jitter) times the two endpoints'
   // latency + per-message overhead, each bounded below by min_wire_cost_.

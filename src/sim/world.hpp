@@ -166,11 +166,16 @@ class SimWorld {
   [[nodiscard]] std::size_t live_node_count() const;
 
   /// Slow-peer fault injection (DESIGN.md §14): divide the node's sustained
-  /// flop rate and NIC bandwidth by `factor` (>= 1). Only latency_s +
-  /// message_overhead_s feed the conservative lookahead bound, so slowing a
-  /// machine can only lengthen delays — the sharded round protocol stays
-  /// correct. Call from a schedule_global event (round barrier) only.
-  void throttle(net::NodeId node, double factor);
+  /// flop rate and NIC bandwidth by `factor` (>= 1), and multiply its
+  /// latency_s + message_overhead_s by `wire_factor` (>= 1, default 1 =
+  /// unchanged). Both directions only LENGTHEN delays, so the cached
+  /// wire-cost minimum feeding lookahead() stays conservative even before
+  /// the invalidation below is observed — a stale (smaller) cached minimum
+  /// can only shrink horizons, never admit an unsafe frame. A wire_factor
+  /// > 1 marks the cache dirty so the next lookahead() rescans and recovers
+  /// the larger (faster) horizon. Call from a schedule_global event (round
+  /// barrier) only.
+  void throttle(net::NodeId node, double factor, double wire_factor = 1.0);
 
   /// Run until stop is requested, the event queue drains, or max_time passes.
   void run();
@@ -319,6 +324,9 @@ class SimWorld {
   void run_round(double horizon);
   void merge_outboxes();
   ThreadPool& round_pool();
+  /// Rescan nodes_ for the wire-cost minimum iff wire_cost_dirty_. O(nodes),
+  /// but runs only after an invalidating op — never once per round.
+  void refresh_wire_cost() const;
   /// Fold per-shard counters into stats_ (no-op with shards == 1).
   void aggregate_stats() const;
 
@@ -335,8 +343,16 @@ class SimWorld {
   std::unique_ptr<ThreadPool> pool_;
   std::vector<CrossFrame*> merge_scratch_;
   std::uint64_t rounds_ = 0;
-  /// min over nodes of MachineSpec::min_wire_cost() — lookahead input.
-  double min_wire_cost_ = std::numeric_limits<double>::infinity();
+  /// Cached min over nodes of MachineSpec::min_wire_cost() — the lookahead
+  /// input. Maintained incrementally by add_node (a new node can only lower
+  /// the min, so `min(cached, spec)` is exact); every operation that can
+  /// RAISE a node's wire cost (throttle with wire_factor > 1) must set
+  /// wire_cost_dirty_ instead, and lookahead() rescans on demand. A stale
+  /// cached value is always <= the true minimum, so horizons computed from
+  /// it remain conservative — the dirty flag buys back horizon width, it is
+  /// never needed for safety.
+  mutable double min_wire_cost_ = std::numeric_limits<double>::infinity();
+  mutable bool wire_cost_dirty_ = false;
   mutable NetStats stats_;  ///< classic: the live counters; sharded: aggregate
   net::CommStats comm_stats_;
 };
