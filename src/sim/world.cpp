@@ -114,6 +114,11 @@ class SimWorld::NodeEnv : public net::Env {
     if (node.actor) node.actor->on_stop(*this);
   }
 
+  /// Point this env at the node's new owning shard (rebalancer migrations;
+  /// runs at round barriers only, never while the node's events are in
+  /// flight).
+  void rebind(Shard* shard) { shard_ = shard; }
+
  private:
   SimWorld* world_;
   net::NodeId id_;
@@ -124,8 +129,19 @@ SimWorld::SimWorld(SimConfig config) : config_(config), rng_(config.seed) {
   config_.shards = resolve_shards(config_.shards);
   const std::size_t n = config_.shards;
   shards_.reserve(n);
+  shard_wire_min_.assign(n, std::numeric_limits<double>::infinity());
+  // Disjoint id residues mod (n + 1): shard s allocates s+1, s+1+(n+1), ...
+  // and the global queue allocates multiples of n+1. An event id then names
+  // one event world-wide, so migrate_node can move tagged events between
+  // queues with their ids — and the TimerIds actors hold stay cancellable —
+  // without any renumbering. Relabeling each queue's ids from (1,2,3,...) to
+  // an arithmetic progression is monotonic per queue, so every (time, id)
+  // tie-break inside a queue is unchanged and pre-existing goldens replay
+  // bit-for-bit (including classic shards == 1, which gets stride 2).
+  global_queue_.set_id_stream(n + 1, n + 1);
   for (std::size_t s = 0; s < n; ++s) {
     auto shard = std::make_unique<Shard>();
+    shard->queue.set_id_stream(s + 1, n + 1);
     if (n == 1) {
       // Classic mode: shard 0 *is* the old scheduler — the world rng drives
       // message jitter (interleaving with harness draws exactly as before)
@@ -176,7 +192,11 @@ net::Stub SimWorld::add_node(std::unique_ptr<net::Actor> actor,
   node.rng = rng_.split(id);
   node.shard = shard_of(id, shards_.size());
   node.env = std::make_unique<NodeEnv>(this, id, shards_[node.shard].get());
+  // A new node can only LOWER a minimum, so min(cached, spec) is exact even
+  // while wire_cost_dirty_ is pending — no need to force a rescan here.
   min_wire_cost_ = std::min(min_wire_cost_, spec.min_wire_cost());
+  shard_wire_min_[node.shard] =
+      std::min(shard_wire_min_[node.shard], spec.min_wire_cost());
   auto [it, inserted] = nodes_.emplace(id, std::move(node));
   JACEPP_ASSERT(inserted);
   Node& ref = it->second;
@@ -264,9 +284,12 @@ std::size_t SimWorld::live_node_count() const {
 
 EventId SimWorld::schedule_guarded(net::NodeId id, net::Incarnation inc,
                                    double when, std::function<void()> fn) {
-  return shard_for(id).queue.schedule(when, [this, id, inc, fn = std::move(fn)] {
-    if (alive_at(id, inc)) fn();
-  });
+  // Tagged with the owning node's id so the rebalancer can migrate the
+  // node's pending events (timers, compute completions, on_start) with it.
+  return shard_for(id).queue.schedule_tagged(
+      when, id, [this, id, inc, fn = std::move(fn)] {
+        if (alive_at(id, inc)) fn();
+      });
 }
 
 EventId SimWorld::schedule_global(double delay, std::function<void()> fn) {
@@ -316,11 +339,19 @@ std::uint64_t SimWorld::events_executed() const {
 
 void SimWorld::refresh_wire_cost() const {
   if (!wire_cost_dirty_) return;
-  double min_cost = std::numeric_limits<double>::infinity();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  double min_cost = kInf;
+  std::fill(shard_wire_min_.begin(), shard_wire_min_.end(), kInf);
   // Down nodes stay in the scan: a revived incarnation keeps its spec, so
-  // excluding it here could briefly overstate the minimum.
+  // excluding it here could briefly overstate the minimum. The per-shard
+  // minima are grouped by CURRENT ownership (node.shard), which is why a
+  // migration must set the dirty flag: a cheap-wire node moving INTO a shard
+  // would otherwise leave that shard's cached minimum stale-large — and a
+  // too-large minimum widens adaptive horizons, the unsafe direction.
   for (const auto& [id, node] : nodes_) {
-    min_cost = std::min(min_cost, node.spec.min_wire_cost());
+    const double cost = node.spec.min_wire_cost();
+    min_cost = std::min(min_cost, cost);
+    shard_wire_min_[node.shard] = std::min(shard_wire_min_[node.shard], cost);
   }
   min_wire_cost_ = min_cost;
   wire_cost_dirty_ = false;
@@ -389,7 +420,9 @@ void SimWorld::pump_link(net::NodeId from_id, net::NodeId to_node) {
       if (!ls.flush_armed) {
         ls.flush_armed = true;
         const LinkKey key{from_id, to_node};
-        sh.queue.schedule(ls.next_flush, [this, key] {
+        // Tagged with the sender: the link queue migrates with its owner, and
+        // the closure re-resolves the owning shard fresh at fire time.
+        sh.queue.schedule_tagged(ls.next_flush, key.from, [this, key] {
           Shard& s2 = shard_for(key.from);
           auto it2 = s2.links.find(key);
           if (it2 == s2.links.end()) return;
@@ -441,7 +474,7 @@ void SimWorld::transmit_wire(net::NodeId from_id, const net::Stub& to,
       ls->busy = true;
       const double occupancy = occupancy_delay(from, dest.spec, message.wire_size());
       const LinkKey key{from_id, to.node};
-      sh.queue.schedule(sh.now + occupancy, [this, key] {
+      sh.queue.schedule_tagged(sh.now + occupancy, key.from, [this, key] {
         Shard& s2 = shard_for(key.from);
         auto it = s2.links.find(key);
         if (it == s2.links.end()) return;
@@ -452,8 +485,10 @@ void SimWorld::transmit_wire(net::NodeId from_id, const net::Stub& to,
     const double delay =
         transfer_delay(from, dest.spec, message.wire_size(), *sh.link_rng);
     ++sh.stats->cross_shard_frames;
-    sh.outbox.push_back(
-        CrossFrame{sh.now + delay, to, std::move(message), &dest, dest.shard});
+    // seq = position in this outbox: the per-shard (arrival, seq) sort at the
+    // end of the round then reproduces send order for equal arrivals.
+    sh.outbox.push_back(CrossFrame{sh.now + delay, to, std::move(message),
+                                   &dest, dest.shard, sh.outbox.size()});
     return;
   }
 
@@ -474,7 +509,7 @@ void SimWorld::transmit_wire(net::NodeId from_id, const net::Stub& to,
     ls->busy = true;
     const double occupancy = occupancy_delay(from, dest.spec, message.wire_size());
     const LinkKey key{from_id, to.node};
-    sh.queue.schedule(sh.now + occupancy, [this, key] {
+    sh.queue.schedule_tagged(sh.now + occupancy, key.from, [this, key] {
       Shard& s2 = shard_for(key.from);
       auto it = s2.links.find(key);
       if (it == s2.links.end()) return;
@@ -488,11 +523,15 @@ void SimWorld::transmit_wire(net::NodeId from_id, const net::Stub& to,
   const net::NodeId dest_id = to.node;
   const net::Incarnation dest_inc = dest.stub.incarnation;
   // Deliver only if the destination is still the same live incarnation when
-  // the bits arrive; otherwise the message is lost in flight.
-  sh.queue.schedule(sh.now + delay,
-                    [this, dest_id, dest_inc, msg = std::move(message)]() mutable {
-                      deliver_wire(dest_id, dest_inc, std::move(msg));
-                    });
+  // the bits arrive; otherwise the message is lost in flight. Tagged with the
+  // DESTINATION: if the receiver migrates, its in-flight deliveries must
+  // follow it, or another shard's lane would run this closure concurrently
+  // with the receiver's own events.
+  sh.queue.schedule_tagged(
+      sh.now + delay, dest_id,
+      [this, dest_id, dest_inc, msg = std::move(message)]() mutable {
+        deliver_wire(dest_id, dest_inc, std::move(msg));
+      });
 }
 
 void SimWorld::deliver_wire(net::NodeId dest_id, net::Incarnation dest_inc,
@@ -581,21 +620,21 @@ bool SimWorld::run_until(double t) {
   return stopped_.load(std::memory_order_relaxed);
 }
 
-ThreadPool& SimWorld::round_pool() {
-  if (!pool_) {
+RoundWorkerPool& SimWorld::round_crew() {
+  if (!crew_) {
     std::size_t lanes = config_.worker_threads;
     const bool force = lanes > 0;
     if (lanes == 0) {
       const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
       lanes = std::min(shards_.size(), hw);
     }
-    // The world owns its pool rather than sharing compute_pool(): actor
+    // The world owns its crew rather than sharing compute_pool(): actor
     // numerics run through compute_pool and their chunking (JACEPP_THREADS)
     // must stay independent of how many lanes drive shard rounds, or
     // "bit-identical across worker-thread counts" would be false.
-    pool_ = std::make_unique<ThreadPool>(lanes, force);
+    crew_ = std::make_unique<RoundWorkerPool>(lanes, force);
   }
-  return *pool_;
+  return *crew_;
 }
 
 void SimWorld::run_rounds(double until) {
@@ -624,64 +663,291 @@ void SimWorld::run_rounds(double until) {
       continue;
     }
 
-    // Conservative horizon: every cross-shard frame sent at time t arrives
+    set_round_horizons(t_min, std::min(t_global, cap));
+    run_round();
+    merge_outboxes();
+    ++rounds_;
+    maybe_rebalance();
+  }
+  for (const auto& shard : shards_) now_ = std::max(now_, shard->now);
+}
+
+void SimWorld::set_round_horizons(double t_min, double limit) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (!config_.adaptive_lookahead) {
+    // Uniform conservative horizon — computation kept byte-identical to the
+    // pre-adaptive scheduler: every cross-shard frame sent at time t arrives
     // no earlier than t + lookahead >= t_min + lookahead, so events strictly
     // below the horizon cannot be affected by frames still unsent on other
     // shards. Zero lookahead (no nodes / degenerate specs / jitter >= 1)
     // degrades to lock-step rounds of the earliest timestamp only.
     const double la = lookahead();
-    double horizon = la > 0.0 ? t_min + la : std::nextafter(t_min, kInf);
-    horizon = std::min(horizon, std::min(t_global, cap));
-    run_round(horizon);
-    merge_outboxes();
-    ++rounds_;
+    const double horizon = std::min(
+        la > 0.0 ? t_min + la : std::nextafter(t_min, kInf), limit);
+    for (auto& shard : shards_) shard->round_horizon = horizon;
+    return;
   }
-  for (const auto& shard : shards_) now_ = std::max(now_, shard->now);
+
+  // Adaptive per-shard horizons. A frame into shard d was sent by some shard
+  // s != d at a time u >= t_min, and costs at least (1 - j) * (m_s + m_d)
+  // where m_x is shard x's own wire-cost minimum — the sender's and the
+  // receiver's endpoint each contribute their latency + per-message overhead
+  // to transfer_delay. So no frame can land in d before
+  //   t_min + (1 - j) * (m_d + min over s != d of m_s),
+  // and shard d may run events strictly below that, even while a slow link
+  // pinned inside some OTHER pair of shards would throttle the uniform
+  // horizon. The 0.999 shave absorbs floating-point rounding exactly as in
+  // lookahead(). min-over-others needs only the global min and second-min of
+  // the per-shard minima (the min itself for every shard except the argmin).
+  refresh_wire_cost();
+  const double f = 0.999 * (1.0 - std::min(config_.message_jitter, 1.0));
+  double m1 = kInf, m2 = kInf;
+  std::size_t arg1 = 0;
+  for (std::size_t s = 0; s < shard_wire_min_.size(); ++s) {
+    const double m = shard_wire_min_[s];
+    if (m < m1) {
+      m2 = m1;
+      m1 = m;
+      arg1 = s;
+    } else if (m < m2) {
+      m2 = m;
+    }
+  }
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    double horizon;
+    if (f > 0.0) {
+      // m_d = +inf means shard s owns no node, hence no events: the horizon
+      // value is irrelevant, and t_min + inf folds to `limit` harmlessly.
+      const double width = f * (shard_wire_min_[s] + (s == arg1 ? m2 : m1));
+      horizon = width > 0.0 ? t_min + width : std::nextafter(t_min, kInf);
+    } else {
+      // f <= 0 (jitter >= 1): no positive flight-time bound exists; fall
+      // back to lock-step rounds. Guarded up front so f * inf never forms
+      // the 0 * inf NaN.
+      horizon = std::nextafter(t_min, kInf);
+    }
+    shards_[s]->round_horizon = std::min(horizon, limit);
+  }
 }
 
-void SimWorld::run_round(double horizon) {
-  // One chunk per shard; shards touch disjoint state, so which lane runs a
-  // shard never matters — only the per-shard event order does.
-  round_pool().parallel_for(
-      0, shards_.size(), 1, [this, horizon](std::size_t lo, std::size_t hi) {
-        for (std::size_t s = lo; s < hi; ++s) {
-          Shard& sh = *shards_[s];
-          RoundStopGuard guard(&sh.stop_round);
-          while (!sh.stop_round && !sh.queue.empty() &&
-                 sh.queue.next_time() < horizon) {
-            auto fn = sh.queue.pop(&sh.now);
-            ++sh.executed;
-            fn();
-          }
-        }
-      });
+void SimWorld::run_round() {
+  // Static shard -> lane mapping (s % lanes): shards touch disjoint state,
+  // so which lane runs a shard never matters — only the per-shard event
+  // order does. The persistent crew replaces a per-round parallel_for; at
+  // round counts in the tens of thousands per simulated second the dispatch
+  // cost at the barrier is the round engine's fixed overhead.
+  round_crew().run([this](std::size_t lane) {
+    const std::size_t lanes = crew_->lanes();
+    for (std::size_t s = lane; s < shards_.size(); s += lanes) {
+      Shard& sh = *shards_[s];
+      RoundStopGuard guard(&sh.stop_round);
+      std::uint64_t tag = 0;
+      while (!sh.stop_round && !sh.queue.empty() &&
+             sh.queue.next_time() < sh.round_horizon) {
+        auto fn = sh.queue.pop(&sh.now, &tag);
+        ++sh.executed;
+        // Load accounting for the rebalancer: every event is tagged with the
+        // node it belongs to, and only this shard's lane touches this map.
+        if (config_.rebalance && tag != 0) ++sh.window_events[tag];
+        fn();
+      }
+      // Sort this shard's outbox by (arrival, seq) here, inside the parallel
+      // region: the barrier's k-way merge then only walks sorted runs.
+      // std::sort, not stable_sort — the latter allocates a merge buffer, and
+      // (arrival, seq) is already a total order (seq is unique per outbox).
+      std::sort(sh.outbox.begin(), sh.outbox.end(),
+                [](const CrossFrame& a, const CrossFrame& b) {
+                  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                  return a.seq < b.seq;
+                });
+    }
+  });
 }
 
 void SimWorld::merge_outboxes() {
-  // Deterministic (time, shard, seq) merge: concatenate outboxes in shard
-  // order (each is already in send order) and stable-sort by arrival time, so
-  // destination event-ids — the tie-breakers inside each queue — depend only
-  // on the frames, never on worker-thread interleaving.
-  merge_scratch_.clear();
+  // Recycle the arena slots whose frames were delivered during the round.
+  // Drained in shard order so the free-list state — and therefore which slot
+  // the next frame lands in — is a pure function of the event history, never
+  // of lane timing.
   for (auto& shard : shards_) {
-    for (CrossFrame& frame : shard->outbox) merge_scratch_.push_back(&frame);
+    for (const std::uint32_t slot : shard->released_slots) {
+      arena_free_.push_back(slot);
+    }
+    shard->released_slots.clear();
   }
-  std::stable_sort(merge_scratch_.begin(), merge_scratch_.end(),
-                   [](const CrossFrame* a, const CrossFrame* b) {
-                     return a->arrival < b->arrival;
-                   });
-  for (CrossFrame* frame : merge_scratch_) {
-    Shard& dest_shard = *shards_[frame->dest_shard];
-    // Node pointers are stable (nodes_ never erases), so the arrival event
-    // can skip the id lookup entirely.
-    dest_shard.queue.schedule(frame->arrival,
-                              [this, dest = frame->dest, to = frame->to,
-                               msg = std::move(frame->message)]() mutable {
-                                deliver_cross(*dest, to, std::move(msg));
-                              });
+
+  // Deterministic (arrival, shard, seq) merge, equivalent to the former
+  // concatenate + stable_sort but allocation-free in steady state: each
+  // outbox is already (arrival, seq)-sorted, so a cursor heap keyed
+  // (arrival, shard) emits the frames in exactly the order the stable sort
+  // produced — equal arrivals break by shard index (concatenation order),
+  // then by seq (send order within a shard). Destination event-ids depend
+  // only on this order, never on worker-thread interleaving.
+  const auto later = [](const MergeCursor& a, const MergeCursor& b) {
+    if (a.arrival != b.arrival) return a.arrival > b.arrival;
+    return a.shard > b.shard;
+  };
+  merge_heap_.clear();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (!shards_[s]->outbox.empty()) {
+      merge_heap_.push_back(MergeCursor{shards_[s]->outbox.front().arrival,
+                                        static_cast<std::uint32_t>(s), 0});
+    }
   }
-  merge_scratch_.clear();
+  std::make_heap(merge_heap_.begin(), merge_heap_.end(), later);
+  while (!merge_heap_.empty()) {
+    std::pop_heap(merge_heap_.begin(), merge_heap_.end(), later);
+    const MergeCursor cur = merge_heap_.back();
+    merge_heap_.pop_back();
+    std::vector<CrossFrame>& outbox = shards_[cur.shard]->outbox;
+
+    // Park the frame in a reusable arena slot. The arrival closure captures
+    // just (this, slot) — inside std::function's inline buffer, so the
+    // schedule itself allocates nothing; the arena and free list grow to the
+    // per-round high-water mark once and are reused thereafter.
+    std::uint32_t slot;
+    if (!arena_free_.empty()) {
+      slot = arena_free_.back();
+      arena_free_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(arena_.size());
+      arena_.emplace_back();
+    }
+    arena_[slot] = std::move(outbox[cur.index]);
+    CrossFrame& frame = arena_[slot];
+    // Tagged with the destination node so in-flight cross-shard arrivals
+    // migrate with their receiver, like same-shard deliveries.
+    shards_[frame.dest_shard]->queue.schedule_tagged(
+        frame.arrival, frame.to.node, [this, slot] { deliver_parked(slot); });
+
+    if (cur.index + 1 < outbox.size()) {
+      merge_heap_.push_back(MergeCursor{outbox[cur.index + 1].arrival,
+                                        cur.shard, cur.index + 1});
+      std::push_heap(merge_heap_.begin(), merge_heap_.end(), later);
+    }
+  }
   for (auto& shard : shards_) shard->outbox.clear();
+}
+
+void SimWorld::deliver_parked(std::uint32_t slot) {
+  CrossFrame& frame = arena_[slot];
+  // Re-read the destination's shard fresh: the node (and this very event,
+  // which shares its tag) may have migrated since the frame was parked.
+  Node& dest = *frame.dest;
+  deliver_cross(dest, frame.to, std::move(frame.message));
+  // Release to the EXECUTING shard's list — dest.shard, by the invariant
+  // that a node's events live in its owning shard's queue. deliver_cross
+  // cannot change it: migrations happen at barriers only.
+  shards_[dest.shard]->released_slots.push_back(slot);
+}
+
+void SimWorld::maybe_rebalance() {
+  if (!config_.rebalance || shards_.size() <= 1) return;
+  const std::size_t every = std::max<std::size_t>(config_.rebalance_every, 1);
+  if (rounds_ % every != 0) return;
+
+  std::vector<std::uint64_t> totals(shards_.size(), 0);
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    for (const auto& [id, count] : shards_[s]->window_events) {
+      totals[s] += count;
+    }
+  }
+  std::uint64_t sum = 0;
+  std::size_t hot = 0;
+  std::size_t cold = 0;
+  for (std::size_t s = 0; s < totals.size(); ++s) {
+    sum += totals[s];
+    if (totals[s] > totals[hot]) hot = s;  // first index wins ties
+    if (totals[s] < totals[cold]) cold = s;
+  }
+  const bool skewed =
+      sum > 0 && hot != cold &&
+      static_cast<double>(totals[hot]) * static_cast<double>(shards_.size()) >
+          config_.rebalance_threshold * static_cast<double>(sum);
+  if (skewed) {
+    // Candidates: the hot shard's window entries, hottest first. The sort key
+    // (count desc, mix64(seed ^ id), id) is a total order — node ids are
+    // unique — so the outcome is independent of the unordered_map's iteration
+    // order, and the seeded hash breaks count ties without favoring low ids.
+    std::vector<std::pair<net::NodeId, std::uint64_t>> candidates(
+        shards_[hot]->window_events.begin(), shards_[hot]->window_events.end());
+    std::sort(candidates.begin(), candidates.end(),
+              [this](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                const std::uint64_t ha = mix64(config_.seed ^ a.first);
+                const std::uint64_t hb = mix64(config_.seed ^ b.first);
+                if (ha != hb) return ha < hb;
+                return a.first < b.first;
+              });
+    // Move the hottest nodes until the hot shard's window excess over the
+    // mean is covered (or the per-trigger cap is hit). Greedy by count: a
+    // single dominating node moves alone; a flat tail moves several.
+    std::uint64_t excess = totals[hot] - sum / shards_.size();
+    std::size_t moves = 0;
+    for (const auto& [id, count] : candidates) {
+      if (moves >= config_.rebalance_max_moves || excess == 0) break;
+      if (!migrate_node(id, static_cast<std::uint32_t>(cold))) continue;
+      ++moves;
+      ++migrations_;
+      excess = count >= excess ? 0 : excess - count;
+    }
+  }
+  // A fresh window either way: stale counts from a skew that resolved on its
+  // own must not trigger a late migration.
+  for (auto& shard : shards_) shard->window_events.clear();
+}
+
+bool SimWorld::migrate_node(net::NodeId id, std::uint32_t to_shard) {
+  Node& node = node_ref(id);
+  if (node.shard == to_shard) return false;
+  const std::uint32_t from_shard = node.shard;
+  Shard& from = *shards_[from_shard];
+  Shard& to = *shards_[to_shard];
+
+  migrate_scratch_.clear();
+  from.queue.take_tagged(id, migrate_scratch_);
+  // Causality check: shard clocks drift apart between barriers (each stops at
+  // its own horizon). An event of this node lying before the destination's
+  // clock would execute in that shard's past — its handler could observe a
+  // node state later than its own timestamp. Skip the migration; the node
+  // stays hot and a later window (with the destination caught up) retries.
+  for (const TakenEvent& event : migrate_scratch_) {
+    if (event.time < to.now) {
+      from.queue.restore(std::move(migrate_scratch_));
+      return false;
+    }
+  }
+  to.queue.restore(std::move(migrate_scratch_));
+
+  // Outbound link queues (and their armed flush/occupancy bookkeeping) move
+  // with the sender; the pending flush events just moved in the same batch,
+  // and their closures re-resolve the owning shard via shard_for at fire
+  // time.
+  for (auto it = from.links.begin(); it != from.links.end();) {
+    if (it->first.from == id) {
+      to.links.insert(from.links.extract(it++));
+    } else {
+      ++it;
+    }
+  }
+
+  node.shard = to_shard;
+  node.env->rebind(&to);
+  // Ownership moved between shards: both shards' cached wire-cost minima are
+  // stale now (the destination's possibly stale-LARGE, the unsafe direction
+  // for adaptive horizons — see refresh_wire_cost).
+  wire_cost_dirty_ = true;
+  JACEPP_LOG(Debug, "sim", "node %llu migrated shard %u -> %u at round %llu",
+             static_cast<unsigned long long>(id), from_shard, to_shard,
+             static_cast<unsigned long long>(rounds_));
+  return true;
+}
+
+std::vector<std::uint64_t> SimWorld::shard_event_counts() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(shards_.size());
+  for (const auto& shard : shards_) counts.push_back(shard->executed);
+  return counts;
 }
 
 }  // namespace jacepp::sim

@@ -47,7 +47,7 @@
 #include "support/rng.hpp"
 
 namespace jacepp {
-class ThreadPool;
+class RoundWorkerPool;
 }
 
 namespace jacepp::sim {
@@ -94,6 +94,27 @@ struct SimConfig {
   /// lanes even on fewer cores (determinism tests exercise thread-count
   /// independence this way). Never affects results — only wall time.
   std::size_t worker_threads = 0;
+  /// Per-shard conservative horizons (`sim.adaptive_lookahead`). Off (the
+  /// default), every shard uses the global 2 * min-wire-cost lookahead — the
+  /// pre-adaptive behavior, bit for bit. On, shard d's lookahead is
+  /// 0.999 * (1 - jitter) * (m_d + min over OTHER shards of m_s), where m_s
+  /// is shard s's own wire-cost minimum: a slow link pinned inside one shard
+  /// stops throttling every other shard's rounds. Results are unchanged —
+  /// only how many rounds it takes to produce them (DESIGN.md §12).
+  bool adaptive_lookahead = false;
+  /// Deterministic shard load balancing (`sim.rebalance`). Off (the
+  /// default), node placement is the static SplitMix64 hash — bit-identical
+  /// to the pre-rebalance scheduler. On, per-node event counters accumulate
+  /// over a window of `rebalance_every` rounds; at those deterministic round
+  /// boundaries, if the hottest shard's window load exceeds
+  /// `rebalance_threshold` times the mean, up to `rebalance_max_moves` of
+  /// its hottest nodes migrate to the coldest shard. The decision is a pure
+  /// function of (seed, counters) — never of worker-thread timing — so a
+  /// rebalanced run still replays bit-for-bit across thread counts.
+  bool rebalance = false;
+  std::size_t rebalance_every = 64;    ///< rounds per load window (>= 1)
+  double rebalance_threshold = 1.25;   ///< trigger: max/mean window load
+  std::size_t rebalance_max_moves = 8; ///< node migrations per trigger
 };
 
 /// Directed link identity (sender, receiver), used as a hash key for the
@@ -233,6 +254,15 @@ class SimWorld {
   [[nodiscard]] std::uint64_t events_executed() const;
   /// Parallel rounds completed (0 in classic mode).
   [[nodiscard]] std::uint64_t rounds_executed() const { return rounds_; }
+  /// Node migrations performed by the rebalancer (0 unless sim.rebalance).
+  [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
+  /// Cumulative events executed per shard — the skew observability feed for
+  /// BENCH_scale.json (max/mean of this vector is the occupancy ratio).
+  [[nodiscard]] std::vector<std::uint64_t> shard_event_counts() const;
+  /// The shard currently owning `id` (hash placement unless migrated).
+  [[nodiscard]] std::uint32_t shard_of_node(net::NodeId id) const {
+    return node_ref(id).shard;
+  }
 
  private:
   class NodeEnv;
@@ -267,6 +297,10 @@ class SimWorld {
     net::Message message;
     Node* dest = nullptr;  ///< stable: nodes_ never erases
     std::uint32_t dest_shard = 0;
+    /// Send order within the owning outbox: the per-shard sort key is
+    /// (arrival, seq), so equal-arrival frames keep send order and the k-way
+    /// merge reproduces the old concat + stable_sort order exactly.
+    std::uint64_t seq = 0;
   };
 
   /// One world partition: everything a round executes without touching
@@ -282,6 +316,16 @@ class SimWorld {
     std::vector<CrossFrame> outbox;
     std::uint64_t executed = 0;
     bool stop_round = false;    ///< set by request_stop() on this shard
+    /// This round's conservative horizon, written by the coordinator before
+    /// the crew is released (uniform, or per-shard with adaptive_lookahead).
+    double round_horizon = 0.0;
+    /// Per-node events executed this load window (sim.rebalance only).
+    /// Bumped only by the owning shard's lane, reset at every window check.
+    std::unordered_map<net::NodeId, std::uint64_t> window_events;
+    /// Arena slots whose parked frame this shard delivered during the round;
+    /// drained back to the world free list at the barrier, in shard order,
+    /// so slot reuse is a pure function of the event history.
+    std::vector<std::uint32_t> released_slots;
   };
 
   Node& node_ref(net::NodeId id);
@@ -321,9 +365,25 @@ class SimWorld {
 
   // --- conservative round loop (shards >= 2) ---
   void run_rounds(double until);
-  void run_round(double horizon);
+  /// Write each Shard::round_horizon for a round starting at t_min: the
+  /// uniform global-lookahead horizon, or per-shard horizons with
+  /// adaptive_lookahead. Every horizon is additionally capped at `limit`
+  /// (the next global event / the run cap, whichever is earlier).
+  void set_round_horizons(double t_min, double limit);
+  void run_round();
   void merge_outboxes();
-  ThreadPool& round_pool();
+  /// Execute the arrival parked in arena slot `slot` and hand the slot to
+  /// the executing shard's release list. Runs on the destination's shard.
+  void deliver_parked(std::uint32_t slot);
+  /// Every rebalance_every rounds: compare per-shard window loads and
+  /// migrate the hottest nodes hot -> cold (sim.rebalance only).
+  void maybe_rebalance();
+  /// Move a node's ownership (pending events, outbound links, env binding)
+  /// to `to_shard`. Returns false — and changes nothing — if any pending
+  /// event of the node lies before the destination shard's clock (executing
+  /// it there would deliver into that shard's past).
+  bool migrate_node(net::NodeId id, std::uint32_t to_shard);
+  RoundWorkerPool& round_crew();
   /// Rescan nodes_ for the wire-cost minimum iff wire_cost_dirty_. O(nodes),
   /// but runs only after an invalidating op — never once per round.
   void refresh_wire_cost() const;
@@ -340,9 +400,26 @@ class SimWorld {
   /// Harness events (shards >= 2 only; classic mode keeps them in shard 0's
   /// queue so event-id tie-breaks stay bit-identical to the old scheduler).
   EventQueue global_queue_;
-  std::unique_ptr<ThreadPool> pool_;
-  std::vector<CrossFrame*> merge_scratch_;
+  std::unique_ptr<RoundWorkerPool> crew_;
+  /// Cursor heap for the k-way outbox merge, keyed (arrival, shard). Reused
+  /// across rounds; capacity is bounded by the shard count.
+  struct MergeCursor {
+    double arrival = 0.0;
+    std::uint32_t shard = 0;
+    std::size_t index = 0;
+  };
+  std::vector<MergeCursor> merge_heap_;
+  /// Parked cross-shard frames awaiting delivery. Slots are acquired and
+  /// recycled only at round barriers (single-threaded); during a round each
+  /// live slot is touched exclusively by the one shard whose queue holds its
+  /// arrival event. Keeping the frame here lets the arrival closure capture
+  /// just (this, slot) — small enough for std::function's inline buffer, so
+  /// the merge schedules without allocating.
+  std::vector<CrossFrame> arena_;
+  std::vector<std::uint32_t> arena_free_;
+  std::vector<TakenEvent> migrate_scratch_;
   std::uint64_t rounds_ = 0;
+  std::uint64_t migrations_ = 0;
   /// Cached min over nodes of MachineSpec::min_wire_cost() — the lookahead
   /// input. Maintained incrementally by add_node (a new node can only lower
   /// the min, so `min(cached, spec)` is exact); every operation that can
@@ -352,6 +429,10 @@ class SimWorld {
   /// it remain conservative — the dirty flag buys back horizon width, it is
   /// never needed for safety.
   mutable double min_wire_cost_ = std::numeric_limits<double>::infinity();
+  /// Per-shard wire-cost minima (adaptive_lookahead input), cached under the
+  /// same dirty flag: add_node updates both incrementally, throttle and
+  /// migration invalidate.
+  mutable std::vector<double> shard_wire_min_;
   mutable bool wire_cost_dirty_ = false;
   mutable NetStats stats_;  ///< classic: the live counters; sharded: aggregate
   net::CommStats comm_stats_;
