@@ -380,6 +380,83 @@ void BM_ShardOutboxMerge(benchmark::State& state) {
 }
 BENCHMARK(BM_ShardOutboxMerge)->Arg(2)->Arg(4)->Arg(8);
 
+// The merge the round engine actually runs now (DESIGN.md §12): each outbox
+// is sorted in place by (arrival, seq) inside the round, and the barrier
+// walks the sorted runs with a cursor heap keyed (arrival, shard) — emitting
+// the exact order of the concat + stable_sort above while reusing every
+// buffer across rounds. This version also drains the destination queues each
+// iteration (to keep them bounded), so it carries pop costs the baseline
+// skips; the pairing is conservative. meta.ablation_pairs.outbox_merge in
+// BENCH_micro.json labels the pair.
+void BM_OutboxKWayMerge(benchmark::State& state) {
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kFrames = 10000;
+  struct Frame {
+    double arrival;
+    std::uint32_t dest_shard;
+    std::uint64_t seq;
+  };
+  Rng rng(6);  // seed 6: identical frame set to BM_ShardOutboxMerge
+  std::vector<std::vector<Frame>> outboxes(shards);
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    auto& box = outboxes[i % shards];
+    box.push_back(Frame{rng.next_double(),
+                        static_cast<std::uint32_t>(rng.index(shards)),
+                        box.size()});
+  }
+  struct Cursor {
+    double arrival;
+    std::uint32_t shard;
+    std::size_t index;
+  };
+  const auto later = [](const Cursor& a, const Cursor& b) {
+    if (a.arrival != b.arrival) return a.arrival > b.arrival;
+    return a.shard > b.shard;
+  };
+  std::vector<std::vector<Frame>> scratch(shards);
+  std::vector<Cursor> heap;
+  heap.reserve(shards);
+  std::vector<sim::EventQueue> queues(shards);
+  for (auto _ : state) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      scratch[s] = outboxes[s];  // capacity reused after the first iteration
+      std::sort(scratch[s].begin(), scratch[s].end(),
+                [](const Frame& a, const Frame& b) {
+                  if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                  return a.seq < b.seq;
+                });
+    }
+    heap.clear();
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (!scratch[s].empty()) {
+        heap.push_back(Cursor{scratch[s].front().arrival,
+                              static_cast<std::uint32_t>(s), 0});
+      }
+    }
+    std::make_heap(heap.begin(), heap.end(), later);
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), later);
+      const Cursor cur = heap.back();
+      heap.pop_back();
+      const Frame& frame = scratch[cur.shard][cur.index];
+      queues[frame.dest_shard].schedule(frame.arrival, [] {});
+      if (cur.index + 1 < scratch[cur.shard].size()) {
+        heap.push_back(Cursor{scratch[cur.shard][cur.index + 1].arrival,
+                              cur.shard, cur.index + 1});
+        std::push_heap(heap.begin(), heap.end(), later);
+      }
+    }
+    double now = 0;
+    for (auto& q : queues) {
+      while (!q.empty()) q.pop(&now)();
+    }
+    benchmark::DoNotOptimize(now);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kFrames));
+}
+BENCHMARK(BM_OutboxKWayMerge)->Arg(2)->Arg(4)->Arg(8);
+
 class NullActor : public net::Actor {
  public:
   void on_start(net::Env&) override {}

@@ -47,6 +47,20 @@
 #         increase sim execution time beyond the recorded tolerance,
 #     (b) redundant-execution voting (rep.redundancy=3) must flag exactly the
 #         injected liars — every liar caught, zero false positives.
+#  6. Round-engine floors (DESIGN.md §12) — also inside BENCH_scale.json,
+#     all within-run sim counters, so strict on any machine:
+#     (a) on the hub-pinned skew case the deterministic rebalancer must cut
+#         max/mean shard occupancy by at least the recorded bound (1.3x)
+#         while performing at least one migration, with every scenario
+#         counter bit-equal to the rebalance-off run AND to a forced
+#         2-thread rerun (skew_floor.counters_equal / .thread_invariant),
+#     (b) on the heterogeneous-wire case adaptive per-shard horizons must
+#         drain the same scenario in at least the recorded bound (1.2x)
+#         fewer barrier rounds than the uniform global horizon, with
+#         identical counters (adaptive_lookahead block).
+#     The per-case rounds counts also feed the baseline comparison as cliff
+#     detectors: a lookahead regression shows up as a rounds blow-up long
+#     before it shows up in 1-core wall time.
 #
 # Usage: scripts/bench_guard.sh BENCH_micro.json [BENCH_hotpath.json ...]
 #        BENCH_GUARD_STRICT=1 BENCH_GUARD_SKIP_BASELINE=1 scripts/bench_guard.sh BENCH_hotpath.json
@@ -86,7 +100,10 @@ metrics_for() {
       ' "${file}" ;;
     BENCH_scale.json)
       jq -r '
-        (.cases // [])[] | "scale/d\(.daemons)/s\(.shards)/wall_s \(.wall_s)"
+        ((.cases // [])[] | "scale/d\(.daemons)/s\(.shards)/wall_s \(.wall_s)"),
+        ((.cases // [])[] | "scale/d\(.daemons)/s\(.shards)/rounds \(.rounds)"),
+        ((.skew_cases // [])[]
+          | "skew/rebalance_\(.rebalance)/t\(.worker_threads)/rounds \(.rounds)")
       ' "${file}" ;;
     *) ;;
   esac
@@ -145,6 +162,32 @@ churn_floor_checks() {
   ' "${file}" 2>/dev/null
 }
 
+# Round-engine floors (see header, check 6). Pure sim counters measured
+# within one run — no tolerance knob, the bounds come from the bench output.
+round_engine_floor_checks() {
+  local file="$1"
+  jq -r '
+    ((.skew_floor // empty)
+      | select(.improvement < .bound)
+      | "bench-guard: FLOOR skew/occupancy@\(.daemons)d: \(.improvement * 1000 | floor / 1000)x below bound \(.bound)x (\(.occupancy_off) -> \(.occupancy_on))"),
+    ((.skew_floor // empty)
+      | select(.migrations == 0)
+      | "bench-guard: FLOOR skew/migrations@\(.daemons)d: rebalancer performed no migrations on the skewed case"),
+    ((.skew_floor // empty)
+      | select(.counters_equal != true)
+      | "bench-guard: FLOOR skew/counters@\(.daemons)d: rebalanced run diverged from the rebalance-off scenario counters"),
+    ((.skew_floor // empty)
+      | select(.thread_invariant != true)
+      | "bench-guard: FLOOR skew/thread_invariance@\(.daemons)d: 2-thread rerun diverged from the 1-thread rebalanced run"),
+    ((.adaptive_lookahead // empty)
+      | select(.ratio < .bound)
+      | "bench-guard: FLOOR adaptive/rounds@\(.daemons)d: \(.ratio * 1000 | floor / 1000)x below bound \(.bound)x (\(.uniform_rounds) -> \(.adaptive_rounds) rounds)"),
+    ((.adaptive_lookahead // empty)
+      | select(.counters_equal != true)
+      | "bench-guard: FLOOR adaptive/counters@\(.daemons)d: adaptive horizons changed the scenario counters")
+  ' "${file}" 2>/dev/null
+}
+
 # Sharded-scheduler floor (see header, check 3). Within-run ratio, so it is
 # machine-portable; tolerance-adjusted because the 1k tier sits at parity.
 scale_floor_checks() {
@@ -196,6 +239,13 @@ for file in "$@"; do
       total_warnings=$((total_warnings + $(echo "${churn_violations}" | wc -l)))
     else
       echo "bench-guard: ${name}: churn placement and voting floors hold"
+    fi
+    round_violations="$(round_engine_floor_checks "${file}")"
+    if [[ -n "${round_violations}" ]]; then
+      echo "${round_violations}"
+      total_warnings=$((total_warnings + $(echo "${round_violations}" | wc -l)))
+    else
+      echo "bench-guard: ${name}: round-engine rebalance and adaptive-lookahead floors hold"
     fi
   fi
 
